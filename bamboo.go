@@ -1,0 +1,147 @@
+// Package bamboo is the public face of the Bamboo chained-BFT
+// prototyping and evaluation framework, a Go reproduction of
+// "Dissecting the Performance of Chained-BFT" (ICDCS 2021).
+//
+// Bamboo lets you assemble an in-process (or TCP) cluster running any
+// of the built-in protocols — HotStuff, two-chain HotStuff, Streamlet,
+// Fast-HotStuff, and the OHS baseline — or a protocol you define by
+// implementing the four safety rules (Proposing, Voting, State
+// Updating, Commit) and registering it under a name:
+//
+//	cfg := bamboo.DefaultConfig()
+//	cfg.Protocol = bamboo.ProtocolHotStuff
+//	cfg.ApplyProtocolDefaults()
+//	c, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{})
+//	...
+//	c.Start()
+//	defer c.Stop()
+//	client, err := c.NewClient()
+//	client.SubmitAndWait(time.Second)
+//
+// The types below alias the implementation packages so downstream
+// code can name every value the API returns.
+package bamboo
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/client"
+	"github.com/bamboo-bft/bamboo/internal/cluster"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/core"
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/kvstore"
+	"github.com/bamboo-bft/bamboo/internal/ledger"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/model"
+	"github.com/bamboo-bft/bamboo/internal/protocol"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Core configuration and deployment types.
+type (
+	// Config is the run configuration (Table I of the paper).
+	Config = config.Config
+	// Cluster is an in-process deployment of N replicas.
+	Cluster = cluster.Cluster
+	// ClusterOptions tunes cluster assembly.
+	ClusterOptions = cluster.Options
+	// Client is a benchmark client (closed- or open-loop).
+	Client = client.Client
+	// Node is a single replica.
+	Node = core.Node
+	// NodeStatus is a replica's published snapshot.
+	NodeStatus = core.Status
+	// ChainStats carries the chain micro-metrics (CGR, BI).
+	ChainStats = metrics.ChainStats
+	// Store is the in-memory key-value execution layer.
+	Store = kvstore.Store
+	// Ledger is the append-only persistent store of committed
+	// blocks (enable per replica with ClusterOptions.LedgerDir).
+	Ledger = ledger.Ledger
+)
+
+// ReplayLedger streams a persisted chain in commit order, verifying
+// height contiguity and parent links.
+func ReplayLedger(path string, fn func(b *Block, height uint64) error) error {
+	return ledger.Replay(path, fn)
+}
+
+// Protocol-authoring types: implement Rules against Env (the block
+// forest plus identity) and register with RegisterProtocol.
+type (
+	// Rules is the four-rule safety interface a protocol implements.
+	Rules = safety.Rules
+	// Env hands a protocol its per-replica environment.
+	Env = safety.Env
+	// Policy declares a protocol's design choices (vote routing,
+	// echoing, responsiveness, client path).
+	Policy = safety.Policy
+	// Forest is the block-forest API available to protocols.
+	Forest = forest.Forest
+)
+
+// Wire-level data types protocols and applications touch.
+type (
+	// Block is the unit of replication.
+	Block = types.Block
+	// QC is a quorum certificate.
+	QC = types.QC
+	// TC is a timeout certificate.
+	TC = types.TC
+	// View is a protocol round.
+	View = types.View
+	// NodeID identifies a replica.
+	NodeID = types.NodeID
+	// Hash is a block identifier.
+	Hash = types.Hash
+	// Transaction is a client command.
+	Transaction = types.Transaction
+	// TxID identifies a transaction.
+	TxID = types.TxID
+)
+
+// ModelParams parameterizes the Section V analytic performance model.
+type ModelParams = model.Params
+
+// Built-in protocol names for Config.Protocol.
+const (
+	ProtocolHotStuff     = config.ProtocolHotStuff
+	ProtocolTwoChainHS   = config.ProtocolTwoChainHS
+	ProtocolStreamlet    = config.ProtocolStreamlet
+	ProtocolFastHotStuff = config.ProtocolFastHotStuff
+	ProtocolOHS          = config.ProtocolOHS
+)
+
+// Byzantine strategy names for Config.Strategy.
+const (
+	StrategySilence    = config.StrategySilence
+	StrategyForking    = config.StrategyForking
+	StrategyEquivocate = config.StrategyEquivocate
+)
+
+// DefaultConfig returns the paper's Table I defaults.
+func DefaultConfig() Config { return config.Default() }
+
+// NewCluster assembles an in-process cluster (replicas are built but
+// not started; call Start).
+func NewCluster(cfg Config, opts ClusterOptions) (*Cluster, error) {
+	return cluster.New(cfg, opts)
+}
+
+// RegisterProtocol adds a custom chained-BFT protocol under a name
+// usable in Config.Protocol — the framework's prototyping entry point.
+func RegisterProtocol(name string, factory func(Env) Rules) error {
+	return protocol.Register(name, factory)
+}
+
+// Protocols lists every registered protocol name.
+func Protocols() []string { return protocol.Names() }
+
+// BuildBlock assembles a standard proposal extending the block that qc
+// certifies — the helper honest Proposing rules use.
+func BuildBlock(self NodeID, view View, qc *QC, payload []Transaction) *Block {
+	return safety.BuildBlock(self, view, qc, payload)
+}
+
+// GenesisQC returns the certificate every chain starts from.
+func GenesisQC() *QC { return types.GenesisQC() }

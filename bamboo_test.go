@@ -1,0 +1,137 @@
+package bamboo_test
+
+import (
+	"testing"
+	"time"
+
+	bamboo "github.com/bamboo-bft/bamboo"
+)
+
+// TestQuickstartFlow exercises the README's quickstart path through
+// the public API only.
+func TestQuickstartFlow(t *testing.T) {
+	cfg := bamboo.DefaultConfig()
+	cfg.Protocol = bamboo.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 10
+	c, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if !cl.SubmitAndWait(5 * time.Second) {
+			t.Fatalf("transaction %d did not commit", i)
+		}
+	}
+	if err := c.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if c.AggregateChain().TxCommitted == 0 {
+		t.Fatal("no committed transactions in aggregate stats")
+	}
+}
+
+// onechain is a deliberately unsafe toy protocol used to prove the
+// registration path: it commits as soon as a block is certified
+// (a "one-chain" rule). Fine on a happy path, unsound under faults —
+// exactly the kind of prototype Bamboo exists to evaluate.
+type onechain struct {
+	env       bamboo.Env
+	highQC    *bamboo.QC
+	lastVoted bamboo.View
+}
+
+func newOnechain(env bamboo.Env) bamboo.Rules {
+	return &onechain{env: env, highQC: bamboo.GenesisQC()}
+}
+
+func (o *onechain) Propose(view bamboo.View, payload []bamboo.Transaction) *bamboo.Block {
+	return bamboo.BuildBlock(o.env.Self, view, o.highQC, payload)
+}
+
+func (o *onechain) VoteRule(b *bamboo.Block, _ *bamboo.TC) bool {
+	if b.View <= o.lastVoted || b.QC == nil || b.QC.View < o.highQC.View {
+		return false
+	}
+	o.lastVoted = b.View
+	return true
+}
+
+func (o *onechain) UpdateState(qc *bamboo.QC) {
+	if qc.View > o.highQC.View {
+		o.highQC = qc
+	}
+}
+
+func (o *onechain) CommitRule(qc *bamboo.QC) *bamboo.Block {
+	b, ok := o.env.Forest.Block(qc.BlockID)
+	if !ok {
+		return nil
+	}
+	return b
+}
+
+func (o *onechain) HighQC() *bamboo.QC { return o.highQC }
+
+func (o *onechain) Policy() bamboo.Policy {
+	return bamboo.Policy{ResponsiveDefault: true}
+}
+
+// TestCustomProtocolRegistration runs the toy one-chain protocol end
+// to end through the registry.
+func TestCustomProtocolRegistration(t *testing.T) {
+	if err := bamboo.RegisterProtocol("onechain-test", newOnechain); err != nil {
+		t.Fatal(err)
+	}
+	if err := bamboo.RegisterProtocol("onechain-test", newOnechain); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	found := false
+	for _, name := range bamboo.Protocols() {
+		if name == "onechain-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered protocol not listed")
+	}
+
+	cfg := bamboo.DefaultConfig()
+	cfg.Protocol = "onechain-test"
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 10
+	c, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !cl.SubmitAndWait(5 * time.Second) {
+			t.Fatalf("custom-protocol transaction %d did not commit", i)
+		}
+	}
+	if err := c.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnknownProtocolRejected: the registry is the authority.
+func TestUnknownProtocolRejected(t *testing.T) {
+	cfg := bamboo.DefaultConfig()
+	cfg.Protocol = "pbft"
+	if _, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Command bamboo-bench regenerates the paper's evaluation (Section
+// VI) on this machine: Table II, Figures 8-15, and the ablation
+// studies, printing rows/series in the shape the paper reports.
+//
+// Usage:
+//
+//	bamboo-bench [-scale 0.25] [-seed 1] table2 fig8 fig9 ... | all
+//
+// -scale 1 runs paper-like durations; smaller values shrink every
+// warmup/measurement window proportionally. `all` runs everything in
+// order. See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(*bench.Runner) error
+}{
+	{"table2", "arrival rate vs throughput (HotStuff)", (*bench.Runner).RunTable2},
+	{"fig8", "model vs implementation L-curves", (*bench.Runner).RunFigure8},
+	{"fig9", "block sizes 100/400/800 (+OHS)", (*bench.Runner).RunFigure9},
+	{"fig10", "payload sizes 0/128/1024", (*bench.Runner).RunFigure10},
+	{"fig11", "added network delays 0/5/10ms", (*bench.Runner).RunFigure11},
+	{"fig12", "scalability 4..64 nodes", (*bench.Runner).RunFigure12},
+	{"fig13", "forking attack, 32 nodes", (*bench.Runner).RunFigure13},
+	{"fig14", "silence attack, 32 nodes", (*bench.Runner).RunFigure14},
+	{"fig15", "responsiveness timeline", (*bench.Runner).RunFigure15},
+	{"ablation-crypto", "signature scheme cost", (*bench.Runner).RunAblationCrypto},
+	{"ablation-routing", "vote routing designs", (*bench.Runner).RunAblationVoteBroadcast},
+	{"ablation-responsive", "responsive vs Δ-wait", (*bench.Runner).RunAblationResponsiveness},
+	{"ablation-batching", "client path / batching", (*bench.Runner).RunAblationBatching},
+	{"ablation-fanout", "client fan-out designs", (*bench.Runner).RunAblationClientFanout},
+	{"ablation-election", "leader-election designs", (*bench.Runner).RunAblationElection},
+}
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.25, "duration scale; 1.0 = paper-like run lengths")
+		seed  = flag.Int64("seed", 1, "workload and key seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bamboo-bench [flags] <experiment>... | all\n\nexperiments:\n")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	selected := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, e := range experiments {
+				selected[e.name] = true
+			}
+			continue
+		}
+		known := false
+		for _, e := range experiments {
+			if e.name == a {
+				known = true
+			}
+		}
+		if !known {
+			log.SetFlags(0)
+			log.Fatalf("bamboo-bench: unknown experiment %q (try -h)", a)
+		}
+		selected[a] = true
+	}
+
+	runner := bench.NewRunner(os.Stdout, *scale, *seed)
+	for _, e := range experiments {
+		if !selected[e.name] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		start := time.Now()
+		if err := e.run(runner); err != nil {
+			log.SetFlags(0)
+			log.Fatalf("bamboo-bench: %s: %v", e.name, err)
+		}
+		fmt.Printf("=== %s done in %v ===\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,101 @@
+// Command bamboo-client drives load against bamboo-server replicas
+// through the RESTful API: the paper's closed-loop benchmark client
+// (Table I "concurrency" and "runtime") in standalone form.
+//
+// Usage:
+//
+//	bamboo-client -servers http://10.0.0.1:8080,http://10.0.0.2:8080 \
+//	              -concurrency 10 -runtime 30s -psize 128
+//
+// Each worker keeps one request in flight against a uniformly random
+// server and the tool prints the throughput and latency distribution
+// at the end.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/kvstore"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("bamboo-client: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		servers     = flag.String("servers", "http://127.0.0.1:8080", "comma-separated replica API URLs")
+		concurrency = flag.Int("concurrency", 10, "closed-loop workers")
+		runtime     = flag.Duration("runtime", 30*time.Second, "how long to run")
+		psize       = flag.Int("psize", 0, "transaction payload bytes")
+		seed        = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	urls := strings.Split(*servers, ",")
+	if len(urls) == 0 || urls[0] == "" {
+		return fmt.Errorf("no servers given")
+	}
+
+	var (
+		lat       metrics.Latency
+		committed metrics.Counter
+		failed    metrics.Counter
+		wg        sync.WaitGroup
+	)
+	stop := time.Now().Add(*runtime)
+	client := &http.Client{Timeout: 30 * time.Second}
+	body, err := json.Marshal(map[string][]byte{"command": kvstore.EncodeNoop(*psize)})
+	if err != nil {
+		return err
+	}
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(workerSeed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed))
+			for time.Now().Before(stop) {
+				url := urls[rng.Intn(len(urls))] + "/tx"
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				var out struct {
+					Committed bool `json:"committed"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				_ = resp.Body.Close()
+				if decErr != nil || !out.Committed {
+					failed.Add(1)
+					continue
+				}
+				lat.Record(time.Since(start))
+				committed.Add(1)
+			}
+		}(*seed + int64(w))
+	}
+	wg.Wait()
+
+	s := lat.Snapshot()
+	elapsed := runtime.Seconds()
+	fmt.Printf("committed: %d (%.1f Tx/s)\n", committed.Load(), float64(committed.Load())/elapsed)
+	fmt.Printf("failed:    %d\n", failed.Load())
+	fmt.Printf("latency:   mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+		s.Mean, s.P50, s.P95, s.P99, s.Max)
+	return nil
+}

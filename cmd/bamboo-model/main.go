@@ -1,0 +1,68 @@
+// Command bamboo-model explores the Section V analytic performance
+// model without running a cluster: it prints the model's latency
+// curve, component breakdown, and saturation point for a given
+// deployment shape.
+//
+// Usage:
+//
+//	bamboo-model -n 4 -bsize 400 -mu 400us -sigma 100us \
+//	             -tcpu 30us -bandwidth 1.25e8 -psize 0 -protocol hotstuff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/model"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 4, "number of replicas")
+		bsize     = flag.Int("bsize", 400, "transactions per block")
+		mu        = flag.Duration("mu", 400*time.Microsecond, "mean link RTT µ")
+		sigma     = flag.Duration("sigma", 100*time.Microsecond, "RTT standard deviation σ")
+		tcpu      = flag.Duration("tcpu", 30*time.Microsecond, "per-operation CPU cost t_CPU")
+		bandwidth = flag.Float64("bandwidth", 1.25e8, "NIC bandwidth bytes/s (0 disables)")
+		psize     = flag.Int("psize", 0, "transaction payload bytes")
+		proto     = flag.String("protocol", "hotstuff", "hotstuff | 2chainhs | streamlet")
+		points    = flag.Int("points", 8, "curve points up to saturation")
+	)
+	flag.Parse()
+
+	var p model.Protocol
+	switch *proto {
+	case "hotstuff":
+		p = model.HotStuff
+	case "2chainhs":
+		p = model.TwoChainHotStuff
+	case "streamlet":
+		p = model.Streamlet
+	default:
+		log.SetFlags(0)
+		log.Fatalf("bamboo-model: unknown protocol %q", *proto)
+	}
+	params := model.Params{
+		N:          *n,
+		BlockSize:  *bsize,
+		Mu:         *mu,
+		Sigma:      *sigma,
+		TCPU:       *tcpu,
+		BlockBytes: float64(*bsize) * float64(24+*psize),
+		Bandwidth:  *bandwidth,
+	}
+
+	fmt.Printf("protocol      %s with %d replicas, %d tx/block, payload %d B\n", p, *n, *bsize, *psize)
+	fmt.Printf("t_NIC         %v (2m/b)\n", params.TNIC())
+	fmt.Printf("t_Q (Blom)    %v\n", params.QuorumWait())
+	fmt.Printf("t_Q (MC)      %v (100k samples)\n", params.QuorumWaitMC(100000, 1))
+	fmt.Printf("t_s           %v (3·t_CPU + 2·t_NIC + t_Q)\n", params.ServiceTime())
+	fmt.Printf("t_commit      %v\n", params.CommitWait(p))
+	fmt.Printf("saturation    %.0f Tx/s\n\n", params.SaturationRate())
+	fmt.Printf("%-16s %-16s\n", "arrival (Tx/s)", "latency")
+	for _, pt := range params.Curve(p, *points, 0.97) {
+		fmt.Printf("%-16.0f %-16v\n", pt.Rate, pt.Latency.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,121 @@
+// Command bamboo-server runs one Bamboo replica for multi-process
+// deployments: consensus over TCP with the peers listed in the
+// configuration file, plus the RESTful client API on its own port.
+//
+// Usage:
+//
+//	bamboo-server -config bamboo.json -id 1 -http :8080
+//
+// The configuration file follows Table I of the paper (see
+// internal/config); the "address" map lists every replica's consensus
+// endpoint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/core"
+	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/httpapi"
+	"github.com/bamboo-bft/bamboo/internal/kvstore"
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/protocol"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("bamboo-server: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		configPath = flag.String("config", "bamboo.json", "path to the JSON run configuration")
+		id         = flag.Uint("id", 0, "this replica's node ID (key into the address map)")
+		httpAddr   = flag.String("http", "", "address for the RESTful client API (empty disables)")
+	)
+	flag.Parse()
+	if *id == 0 {
+		return fmt.Errorf("-id is required")
+	}
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	if len(cfg.Addrs) == 0 {
+		return fmt.Errorf("configuration has no replica addresses")
+	}
+	self := types.NodeID(*id)
+	if _, ok := cfg.Addrs[self]; !ok {
+		return fmt.Errorf("node %d has no address in the configuration", *id)
+	}
+
+	factory, err := protocol.Factory(cfg.Protocol)
+	if err != nil {
+		return err
+	}
+	fullScheme, err := crypto.NewScheme(cfg.CryptoScheme, cfg.N, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	scheme := crypto.Scheme(fullScheme)
+	if ed, ok := fullScheme.(*crypto.Ed25519); ok {
+		// Hold only our own private key in this process.
+		scheme = ed.Restrict(self)
+	}
+	transport, err := network.NewTCP(self, cfg.Addrs)
+	if err != nil {
+		return err
+	}
+	store := kvstore.New()
+	node := core.NewNode(self, cfg, factory, transport, scheme, core.Options{
+		Execute: store.Apply,
+		OnViolation: func(err error) {
+			log.Printf("SAFETY VIOLATION: %v", err)
+		},
+	})
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		api := httpapi.New(node, uint64(self), 30*time.Second)
+		httpSrv = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           api.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("http api: %v", err)
+			}
+		}()
+	}
+
+	node.Start()
+	log.Printf("replica %s running %s with %d peers (consensus %s, http %q)",
+		self, cfg.Protocol, cfg.N, cfg.Addrs[self], *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if httpSrv != nil {
+		_ = httpSrv.Close()
+	}
+	node.Stop()
+	if err := transport.Close(); err != nil {
+		return err
+	}
+	status := node.Status()
+	log.Printf("final state: view %d, committed height %d", status.CurView, status.CommittedHeight)
+	return nil
+}

@@ -1,0 +1,74 @@
+// Byzantine: the Section IV story, live. Run HotStuff and Streamlet
+// side by side, each with one forking attacker among eight nodes, and
+// watch the chain growth rate: the attacker overwrites uncommitted
+// HotStuff blocks (CGR < 1) while Streamlet's broadcast votes and
+// longest-chain rule leave it untouched (CGR = 1). Safety holds for
+// both — forks only ever waste work.
+//
+//	go run ./examples/byzantine
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	bamboo "github.com/bamboo-bft/bamboo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("byzantine: %v", err)
+	}
+}
+
+func run() error {
+	fmt.Println("one forking attacker among 8 nodes, 3-second runs")
+	fmt.Printf("%-12s %-8s %-8s %-10s %-10s\n", "protocol", "CGR", "BI", "committed", "safety")
+	for _, proto := range []string{bamboo.ProtocolHotStuff, bamboo.ProtocolStreamlet} {
+		cgr, bi, committed, err := attackRun(proto)
+		if err != nil {
+			return fmt.Errorf("%s: %w", proto, err)
+		}
+		fmt.Printf("%-12s %-8.3f %-8.2f %-10d %s\n", proto, cgr, bi, committed, "ok ✓")
+	}
+	fmt.Println("\nHotStuff loses uncommitted blocks to the fork (CGR < 1);")
+	fmt.Println("Streamlet is immune: honest replicas only vote on the longest")
+	fmt.Println("notarized chain, so the attacker's stale-parent block starves.")
+	return nil
+}
+
+func attackRun(proto string) (cgr, bi float64, committed uint64, err error) {
+	cfg := bamboo.DefaultConfig()
+	cfg.Protocol = proto
+	cfg.ApplyProtocolDefaults()
+	cfg.N = 8
+	cfg.ByzNo = 1
+	cfg.Strategy = bamboo.StrategyForking
+	cfg.BlockSize = 100
+	cfg.MemSize = 1 << 15
+	cfg.CryptoScheme = "hmac"
+	cfg.Timeout = 150 * time.Millisecond
+
+	c, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c.Start()
+	defer c.Stop()
+	client, err := c.NewClient()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	client.RunClosedLoop(16, 2*time.Second)
+	time.Sleep(3 * time.Second)
+	if err := c.ConsistencyCheck(); err != nil {
+		return 0, 0, 0, err
+	}
+	if v := c.Violations(); v != 0 {
+		return 0, 0, 0, fmt.Errorf("%d safety violations", v)
+	}
+	stats := c.AggregateChain()
+	return stats.CGR, stats.BI, stats.BlocksCommitted, nil
+}

@@ -1,0 +1,131 @@
+// Package attack implements the Byzantine strategies of Section IV-A
+// as wrappers over a protocol's Proposing rule — the same way the
+// paper implements them ("developers can easily implement these attack
+// strategies in less than 50 LoC of Go code in Bamboo by modifying the
+// Proposing Rule"). The attacker never violates the protocol from an
+// outsider's view: its proposals satisfy the honest voting rule.
+//
+//   - Forking: when leading a view, propose on top of an older
+//     certified block instead of the freshest one, overwriting as many
+//     uncommitted blocks as the voting rule allows (two in HotStuff,
+//     one in 2CHS; Streamlet's longest-chain voting makes it a no-op).
+//   - Silence: when leading a view, withhold the proposal entirely,
+//     breaking the commit rule and burning a view timeout.
+//   - Equivocate: propose two conflicting blocks in the same view,
+//     sent to disjoint halves of the replicas (an extension beyond the
+//     paper's two strategies; quorum intersection defuses it).
+package attack
+
+import (
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Forking proposes on the certified ancestor `Depth` steps behind the
+// highest QC. Depth 2 suits HotStuff (the lock trails the tip by two
+// blocks from an honest voter's view), depth 1 suits the two-chain
+// protocols. If the chain near genesis is too short to walk, it
+// proposes honestly.
+type Forking struct {
+	safety.Rules
+	Forest *forest.Forest
+	Self   types.NodeID
+	Depth  int
+}
+
+// NewForking wraps rules with the forking strategy.
+func NewForking(rules safety.Rules, f *forest.Forest, self types.NodeID, depth int) *Forking {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Forking{Rules: rules, Forest: f, Self: self, Depth: depth}
+}
+
+// Propose implements the attack: walk Depth certified parents back
+// from the highest QC and extend that block instead, so the blocks in
+// between fork off the chain and are eventually overwritten.
+func (a *Forking) Propose(view types.View, payload []types.Transaction) *types.Block {
+	qc := a.Rules.HighQC()
+	for i := 0; i < a.Depth; i++ {
+		b, ok := a.Forest.Block(qc.BlockID)
+		if !ok || b.QC == nil || b.QC.IsGenesis() {
+			// Chain too short to walk (or compacted): the attack
+			// cannot gain anything, so propose honestly.
+			return a.Rules.Propose(view, payload)
+		}
+		// b.QC certifies b's parent: one step down the chain.
+		qc = b.QC
+	}
+	return safety.BuildBlock(a.Self, view, qc, payload)
+}
+
+// Silence withholds every proposal while leading. The attacker keeps
+// voting, aggregating, and timing out — only the Proposing rule is
+// subverted, which is what lets (for example) chained HotStuff at n=4
+// keep committing in waves: the silent node still collects votes and
+// its timeout messages leak the resulting high QC to honest leaders.
+type Silence struct {
+	safety.Rules
+	// ActiveAfter delays the attack; before this instant the node
+	// proposes honestly. The zero value means always silent.
+	ActiveAfter time.Time
+}
+
+// NewSilence wraps rules with the silence strategy.
+func NewSilence(rules safety.Rules) *Silence { return &Silence{Rules: rules} }
+
+// Propose implements the attack: stay silent (once active).
+func (a *Silence) Propose(view types.View, payload []types.Transaction) *types.Block {
+	if !a.ActiveAfter.IsZero() && time.Now().Before(a.ActiveAfter) {
+		return a.Rules.Propose(view, payload)
+	}
+	return nil
+}
+
+// Equivocate produces a pair of conflicting proposals per view. The
+// engine sends Propose's block to one half of the replicas and
+// ProposeAlt's to the other half.
+type Equivocate struct {
+	safety.Rules
+	Self types.NodeID
+}
+
+// NewEquivocate wraps rules with the equivocation strategy.
+func NewEquivocate(rules safety.Rules, self types.NodeID) *Equivocate {
+	return &Equivocate{Rules: rules, Self: self}
+}
+
+// ProposeAlt builds the conflicting twin of the view's proposal: same
+// parent, same view, but a poisoned payload ordering so the block hash
+// differs.
+func (a *Equivocate) ProposeAlt(view types.View, payload []types.Transaction) *types.Block {
+	twin := make([]types.Transaction, len(payload))
+	copy(twin, payload)
+	for i, j := 0, len(twin)-1; i < j; i, j = i+1, j-1 {
+		twin[i], twin[j] = twin[j], twin[i]
+	}
+	if len(twin) == 0 {
+		// Force a distinct hash even for empty payloads.
+		twin = []types.Transaction{{ID: types.TxID{Client: uint64(a.Self), Seq: uint64(view)}}}
+	}
+	return safety.BuildBlock(a.Self, view, a.Rules.HighQC(), twin)
+}
+
+// Equivocator is the optional capability the engine probes for.
+type Equivocator interface {
+	ProposeAlt(view types.View, payload []types.Transaction) *types.Block
+}
+
+// DepthFor returns the forking depth that maximizes overwritten blocks
+// while keeping proposals acceptable to honest voters, per protocol.
+func DepthFor(protocol string) int {
+	switch protocol {
+	case "hotstuff", "ohs":
+		return 2
+	default:
+		return 1
+	}
+}

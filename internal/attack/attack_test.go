@@ -1,0 +1,158 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/protocol/hotstuff"
+	"github.com/bamboo-bft/bamboo/internal/protocol/twochain"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// buildChain prepares a forest with n certified consecutive blocks and
+// an inner protocol that has processed them.
+func buildChain(t *testing.T, inner safety.Rules, f *forest.Forest, n int) []*types.Block {
+	t.Helper()
+	parentQC := types.GenesisQC()
+	blocks := make([]*types.Block, 0, n)
+	for v := types.View(1); v <= types.View(n); v++ {
+		b := safety.BuildBlock(2, v, parentQC, nil)
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		qc := &types.QC{View: v, BlockID: b.ID()}
+		f.Certify(qc)
+		inner.UpdateState(qc)
+		blocks = append(blocks, b)
+		parentQC = qc
+	}
+	return blocks
+}
+
+func TestForkingWalksBack(t *testing.T) {
+	f := forest.New(8)
+	inner := hotstuff.New(safety.Env{Forest: f, Self: 1, N: 4})
+	blocks := buildChain(t, inner, f, 5)
+	atk := NewForking(inner, f, 1, 2)
+	b := atk.Propose(6, nil)
+	if b == nil {
+		t.Fatal("forking attacker must propose")
+	}
+	// HighQC certifies view 5; depth 2 walks to view 3's certificate,
+	// so the proposal's parent is the view-3 block — overwriting
+	// views 4 and 5.
+	if b.Parent != blocks[2].ID() {
+		t.Fatalf("fork parent = %s, want the view-3 block", b.Parent)
+	}
+	if b.QC.View != 3 {
+		t.Fatalf("fork QC view = %d, want 3", b.QC.View)
+	}
+}
+
+func TestForkingDepthOne(t *testing.T) {
+	f := forest.New(8)
+	inner := twochain.New(safety.Env{Forest: f, Self: 1, N: 4})
+	blocks := buildChain(t, inner, f, 5)
+	atk := NewForking(inner, f, 1, 1)
+	b := atk.Propose(6, nil)
+	if b.Parent != blocks[3].ID() {
+		t.Fatalf("fork parent = %s, want the view-4 block (overwrite exactly one)", b.Parent)
+	}
+}
+
+func TestForkingFallsBackNearGenesis(t *testing.T) {
+	f := forest.New(8)
+	inner := hotstuff.New(safety.Env{Forest: f, Self: 1, N: 4})
+	buildChain(t, inner, f, 1) // one block: nothing to walk back over
+	atk := NewForking(inner, f, 1, 2)
+	b := atk.Propose(2, nil)
+	if b == nil {
+		t.Fatal("fallback must still propose")
+	}
+	// The honest fork choice extends the highest QC (view 1).
+	if b.QC.View != 1 {
+		t.Fatalf("fallback QC view = %d, want honest 1", b.QC.View)
+	}
+}
+
+func TestForkingDepthClamped(t *testing.T) {
+	f := forest.New(8)
+	inner := hotstuff.New(safety.Env{Forest: f, Self: 1, N: 4})
+	buildChain(t, inner, f, 3)
+	atk := NewForking(inner, f, 1, 0) // clamps to 1
+	if atk.Depth != 1 {
+		t.Fatalf("depth = %d, want clamp to 1", atk.Depth)
+	}
+}
+
+func TestSilence(t *testing.T) {
+	f := forest.New(8)
+	inner := hotstuff.New(safety.Env{Forest: f, Self: 1, N: 4})
+	buildChain(t, inner, f, 2)
+	atk := NewSilence(inner)
+	if atk.Propose(3, nil) != nil {
+		t.Fatal("silent attacker proposed")
+	}
+	// Everything else passes through: the attacker still votes.
+	qc2 := &types.QC{View: 2, BlockID: f.LongestNotarizedTip().ID()}
+	_ = qc2
+	if atk.HighQC().View != 2 {
+		t.Fatal("silence must not hide protocol state")
+	}
+}
+
+func TestSilenceDelayedActivation(t *testing.T) {
+	f := forest.New(8)
+	inner := hotstuff.New(safety.Env{Forest: f, Self: 1, N: 4})
+	buildChain(t, inner, f, 2)
+	atk := NewSilence(inner)
+	atk.ActiveAfter = time.Now().Add(100 * time.Millisecond)
+	if atk.Propose(3, nil) == nil {
+		t.Fatal("attacker silent before activation time")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if atk.Propose(4, nil) != nil {
+		t.Fatal("attacker proposing after activation time")
+	}
+}
+
+func TestEquivocateProducesConflictingTwins(t *testing.T) {
+	f := forest.New(8)
+	inner := hotstuff.New(safety.Env{Forest: f, Self: 1, N: 4})
+	buildChain(t, inner, f, 2)
+	atk := NewEquivocate(inner, 1)
+	payload := []types.Transaction{
+		{ID: types.TxID{Client: 1, Seq: 1}},
+		{ID: types.TxID{Client: 1, Seq: 2}},
+	}
+	a := atk.Propose(3, payload)
+	b := atk.ProposeAlt(3, payload)
+	if a == nil || b == nil {
+		t.Fatal("equivocator must produce both twins")
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("twins must have different hashes")
+	}
+	if a.View != b.View || a.Parent != b.Parent {
+		t.Fatal("twins must conflict at the same position")
+	}
+	// Empty payload still yields distinct twins.
+	c := atk.ProposeAlt(4, nil)
+	d := atk.Propose(4, nil)
+	if c.ID() == d.ID() {
+		t.Fatal("empty-payload twins must still differ")
+	}
+}
+
+func TestDepthFor(t *testing.T) {
+	cases := map[string]int{
+		"hotstuff": 2, "ohs": 2, "2chainhs": 1, "streamlet": 1, "fasthotstuff": 1,
+	}
+	for proto, want := range cases {
+		if got := DepthFor(proto); got != want {
+			t.Errorf("DepthFor(%s) = %d, want %d", proto, got, want)
+		}
+	}
+}

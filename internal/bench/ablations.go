@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/cluster"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/election"
+)
+
+// RunAblationCrypto quantifies the signature scheme's share of the
+// stack: the same HotStuff workload under Ed25519, HMAC, and no-op
+// authentication. The gap between ed25519 and hmac is the t_CPU the
+// Section V model attributes to crypto; the gap between hmac and noop
+// is hashing/dispatch overhead.
+func (r *Runner) RunAblationCrypto() error {
+	r.printf("Ablation: crypto scheme cost (HotStuff, n=4, bsize=400)\n")
+	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
+	for _, scheme := range []string{"ed25519", "hmac", "noop"} {
+		cfg := r.substrate()
+		cfg.Protocol = config.ProtocolHotStuff
+		cfg.ApplyProtocolDefaults()
+		cfg.CryptoScheme = scheme
+		p, err := r.measure(cfg, 64, 0, warm, window)
+		if err != nil {
+			return fmt.Errorf("ablation crypto %s: %w", scheme, err)
+		}
+		tcpu, err := MeasureTCPU(scheme)
+		if err != nil {
+			return err
+		}
+		r.printf("%-8s tput=%7s KTx/s  lat=%8s ms  (measured t_CPU %v)\n",
+			scheme, fmtKTx(p.Throughput), fmtMS(p.Mean), tcpu)
+	}
+	return nil
+}
+
+// RunAblationVoteBroadcast contrasts vote routing designs by running
+// HotStuff (votes to the next leader, linear) against Streamlet
+// (votes broadcast and echoed, cubic) at equal block size, isolating
+// the messaging design choice the paper credits for Streamlet's
+// forking resilience and throughput penalty.
+func (r *Runner) RunAblationVoteBroadcast() error {
+	r.printf("Ablation: vote routing (next-leader vs broadcast+echo, n=8)\n")
+	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
+	for _, proto := range []string{config.ProtocolHotStuff, config.ProtocolStreamlet} {
+		cfg := r.substrate()
+		cfg.Protocol = proto
+		cfg.ApplyProtocolDefaults()
+		cfg.N = 8
+		c, err := r.measureWithMessages(cfg, 64, warm, window)
+		if err != nil {
+			return fmt.Errorf("ablation routing %s: %w", proto, err)
+		}
+		r.printf("%-10s tput=%7s KTx/s  lat=%8s ms  msgs/block=%.0f\n",
+			proto, fmtKTx(c.point.Throughput), fmtMS(c.point.Mean), c.msgsPerBlock)
+	}
+	return nil
+}
+
+// RunAblationResponsiveness measures the cost of the Δ-wait after a
+// view change: 2CHS with responsive proposals versus the Δ-wait mode,
+// under periodic leader silence that forces view changes.
+func (r *Runner) RunAblationResponsiveness() error {
+	r.printf("Ablation: responsive vs Δ-wait view change (2CHS, 1 silent node, n=4)\n")
+	warm, window := r.scaled(time.Second), r.scaled(2500*time.Millisecond)
+	for _, responsive := range []bool{true, false} {
+		cfg := r.substrate()
+		cfg.Protocol = config.ProtocolTwoChainHS
+		cfg.Responsive = responsive
+		cfg.ByzNo = 1
+		cfg.Strategy = config.StrategySilence
+		cfg.Timeout = 50 * time.Millisecond
+		cfg.MaxNetworkDelay = 20 * time.Millisecond
+		p, err := r.measure(cfg, 32, 0, warm, window)
+		if err != nil {
+			return fmt.Errorf("ablation responsiveness %v: %w", responsive, err)
+		}
+		mode := "responsive"
+		if !responsive {
+			mode = "delta-wait"
+		}
+		r.printf("%-11s tput=%7s KTx/s  lat=%8s ms  BI=%.2f\n",
+			mode, fmtKTx(p.Throughput), fmtMS(p.Mean), p.BI)
+	}
+	return nil
+}
+
+// RunAblationBatching contrasts the Bamboo HotStuff client path with
+// the OHS lightweight pool (Section VI-B attributes their gap to the
+// request path and batching differences).
+func (r *Runner) RunAblationBatching() error {
+	r.printf("Ablation: client path (bamboo mempool vs OHS lightweight pool)\n")
+	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
+	for _, proto := range []string{config.ProtocolHotStuff, config.ProtocolOHS} {
+		cfg := r.substrate()
+		cfg.Protocol = proto
+		cfg.ApplyProtocolDefaults()
+		p, err := r.measure(cfg, 128, 0, warm, window)
+		if err != nil {
+			return fmt.Errorf("ablation batching %s: %w", proto, err)
+		}
+		r.printf("%-10s tput=%7s KTx/s  lat=%8s ms\n",
+			proto, fmtKTx(p.Throughput), fmtMS(p.Mean))
+	}
+	return nil
+}
+
+// RunAblationClientFanout contrasts the two client designs of
+// Section V-E: sending each transaction to one random replica (the
+// default, matching the queuing model) versus broadcasting it to all
+// replicas (lower time-to-proposal, n× the request traffic and
+// duplicate suppression work).
+func (r *Runner) RunAblationClientFanout() error {
+	r.printf("Ablation: client fan-out (single random replica vs broadcast, HotStuff n=4)\n")
+	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
+	for _, fanout := range []bool{false, true} {
+		cfg := r.substrate()
+		cfg.Protocol = config.ProtocolHotStuff
+		cfg.ApplyProtocolDefaults()
+		c, err := cluster.New(cfg, cluster.Options{})
+		if err != nil {
+			return err
+		}
+		c.Start()
+		cl, err := c.NewClient()
+		if err != nil {
+			c.Stop()
+			return err
+		}
+		cl.SetFanout(fanout)
+		cl.RunClosedLoop(64, 5*time.Second)
+		time.Sleep(warm)
+		cl.Latency().Reset()
+		startTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
+		start := time.Now()
+		time.Sleep(window)
+		elapsed := time.Since(start)
+		endTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
+		lat := cl.Latency().Snapshot()
+		err = c.ConsistencyCheck()
+		c.Stop()
+		if err != nil {
+			return err
+		}
+		mode := "single"
+		if fanout {
+			mode = "broadcast"
+		}
+		r.printf("%-10s tput=%7s KTx/s  lat=%8s ms\n",
+			mode, fmtKTx(float64(endTx-startTx)/elapsed.Seconds()), fmtMS(lat.Mean))
+	}
+	return nil
+}
+
+// RunAblationElection compares leader-election designs (Section V-E):
+// deterministic round-robin against hash-based pseudo-random election.
+// Hash election repeats leaders back to back occasionally, which keeps
+// a transaction waiting longer for its home replica's turn — the
+// paper's model captures this through the effective service time.
+func (r *Runner) RunAblationElection() error {
+	r.printf("Ablation: leader election (round-robin vs hash-based, HotStuff n=4)\n")
+	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
+	for _, mode := range []string{"round-robin", "hashed"} {
+		cfg := r.substrate()
+		cfg.Protocol = config.ProtocolHotStuff
+		cfg.ApplyProtocolDefaults()
+		opts := cluster.Options{}
+		if mode == "hashed" {
+			opts.Elector = election.NewHashed(cfg.N, cfg.Seed)
+		}
+		c, err := cluster.New(cfg, opts)
+		if err != nil {
+			return err
+		}
+		c.Start()
+		cl, err := c.NewClient()
+		if err != nil {
+			c.Stop()
+			return err
+		}
+		cl.RunClosedLoop(64, 5*time.Second)
+		time.Sleep(warm)
+		cl.Latency().Reset()
+		startTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
+		start := time.Now()
+		time.Sleep(window)
+		elapsed := time.Since(start)
+		endTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
+		lat := cl.Latency().Snapshot()
+		err = c.ConsistencyCheck()
+		c.Stop()
+		if err != nil {
+			return err
+		}
+		r.printf("%-12s tput=%7s KTx/s  lat=%8s ms  p99=%8s ms\n",
+			mode, fmtKTx(float64(endTx-startTx)/elapsed.Seconds()), fmtMS(lat.Mean), fmtMS(lat.P99))
+	}
+	return nil
+}
+
+// measureWithMessages augments measure with switch message counters.
+type msgPoint struct {
+	point        Point
+	msgsPerBlock float64
+}
+
+func (r *Runner) measureWithMessages(cfg config.Config, concurrency int,
+	warm, window time.Duration) (msgPoint, error) {
+
+	var out msgPoint
+	c, err := cluster.New(cfg, cluster.Options{})
+	if err != nil {
+		return out, err
+	}
+	c.Start()
+	defer c.Stop()
+	cl, err := c.NewClient()
+	if err != nil {
+		return out, err
+	}
+	cl.RunClosedLoop(concurrency, 5*time.Second)
+	time.Sleep(warm)
+	cl.Latency().Reset()
+	obs := c.Node(c.Observer())
+	startTx := obs.Tracker().Snapshot()
+	startMsgs, _, _ := c.NetworkStats()
+	start := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(start)
+	endTx := obs.Tracker().Snapshot()
+	endMsgs, _, _ := c.NetworkStats()
+	lat := cl.Latency().Snapshot()
+	out.point = Point{
+		Offered:    float64(concurrency),
+		Throughput: float64(endTx.TxCommitted-startTx.TxCommitted) / elapsed.Seconds(),
+		Mean:       lat.Mean, P50: lat.P50, P99: lat.P99,
+	}
+	blocks := float64(endTx.BlocksCommitted - startTx.BlocksCommitted)
+	if blocks > 0 {
+		out.msgsPerBlock = float64(endMsgs-startMsgs) / blocks
+	}
+	return out, nil
+}

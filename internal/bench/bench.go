@@ -1,0 +1,312 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section VI) on the in-process substrate: Table II and
+// Figures 8 through 15, plus ablation studies of the design choices
+// DESIGN.md calls out. Each experiment prints rows/series in the shape
+// the paper reports so results can be compared side by side; absolute
+// numbers differ from the paper's testbed (single machine vs one VM
+// per replica), but the comparative shapes are the reproduction target.
+//
+// All experiments accept a Scale factor: 1.0 runs paper-like
+// durations, smaller values shrink warmup/measurement windows
+// proportionally for quick runs (the go test benches default to the
+// BAMBOO_BENCH_SCALE environment variable, or 0.15).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/cluster"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/model"
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Runner executes experiments and writes human-readable rows.
+type Runner struct {
+	// Out receives the result rows.
+	Out io.Writer
+	// Scale multiplies every warmup/measurement duration; 1.0
+	// reproduces paper-like run lengths.
+	Scale float64
+	// Seed drives workload and key randomness.
+	Seed int64
+	// Ns overrides the scalability experiment's cluster sizes
+	// (default 4, 8, 16, 32, 64).
+	Ns []int
+	// ByzLevels overrides the attack experiments' Byzantine counts
+	// (default 0, 2, 4, 6, 8, 10).
+	ByzLevels []int
+	// Levels overrides the closed-loop concurrency ladder.
+	Levels []int
+}
+
+func (r *Runner) ns() []int {
+	if len(r.Ns) > 0 {
+		return r.Ns
+	}
+	return []int{4, 8, 16, 32, 64}
+}
+
+func (r *Runner) byzLevels() []int {
+	if len(r.ByzLevels) > 0 {
+		return r.ByzLevels
+	}
+	return []int{0, 2, 4, 6, 8, 10}
+}
+
+func (r *Runner) levels() []int {
+	if len(r.Levels) > 0 {
+		return r.Levels
+	}
+	return []int{2, 8, 32, 128, 512}
+}
+
+// NewRunner creates a runner with sane defaults.
+func NewRunner(out io.Writer, scale float64, seed int64) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Runner{Out: out, Scale: scale, Seed: seed}
+}
+
+// scaled shrinks a duration by the run scale, with a floor that keeps
+// measurements meaningful.
+func (r *Runner) scaled(d time.Duration) time.Duration {
+	s := time.Duration(float64(d) * r.Scale)
+	if s < 150*time.Millisecond {
+		s = 150 * time.Millisecond
+	}
+	return s
+}
+
+// printf writes one output row.
+func (r *Runner) printf(format string, args ...any) {
+	fmt.Fprintf(r.Out, format, args...)
+}
+
+// substrate returns the baseline configuration of the single-machine
+// substrate: 4 replicas, HMAC authentication (see DESIGN.md §4),
+// 200µs ± 50µs link delay (the <1ms same-datacenter profile of the
+// paper's testbed), and 1 Gbps modeled NIC bandwidth.
+func (r *Runner) substrate() config.Config {
+	cfg := config.Default()
+	cfg.CryptoScheme = "hmac"
+	cfg.Seed = r.Seed
+	cfg.Delay = 200 * time.Microsecond
+	cfg.DelayStd = 50 * time.Microsecond
+	cfg.Bandwidth = 1.25e8 // 1 Gbps in bytes/s
+	cfg.Timeout = 100 * time.Millisecond
+	cfg.MaxNetworkDelay = 5 * time.Millisecond
+	cfg.MemSize = 1 << 17
+	return cfg
+}
+
+// Point is one measured datum of a throughput/latency experiment.
+type Point struct {
+	// Offered is the offered load: concurrency for closed-loop
+	// runs, transactions/second for open-loop runs.
+	Offered float64
+	// Throughput is committed transactions/second observed at the
+	// observer replica.
+	Throughput float64
+	// Mean, P50, P99 are client-side latencies.
+	Mean time.Duration
+	P50  time.Duration
+	P99  time.Duration
+	// CGR and BI are the chain micro-metrics over the window.
+	CGR float64
+	BI  float64
+}
+
+// measure runs one experiment point. If rate > 0 an open-loop Poisson
+// client drives the cluster at that rate; otherwise `concurrency`
+// closed-loop workers do.
+func (r *Runner) measure(cfg config.Config, concurrency int, rate float64,
+	warm, window time.Duration) (Point, error) {
+
+	var p Point
+	c, err := cluster.New(cfg, cluster.Options{})
+	if err != nil {
+		return p, err
+	}
+	c.Start()
+	defer c.Stop()
+	cl, err := c.NewClient()
+	if err != nil {
+		return p, err
+	}
+	if rate > 0 {
+		p.Offered = rate
+		cl.RunOpenLoop(rate)
+	} else {
+		p.Offered = float64(concurrency)
+		cl.RunClosedLoop(concurrency, 5*time.Second)
+	}
+	time.Sleep(warm)
+	cl.Latency().Reset()
+	observer := c.Node(c.Observer())
+	startTx := observer.Tracker().Snapshot().TxCommitted
+	start := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(start)
+	endTx := observer.Tracker().Snapshot().TxCommitted
+	lat := cl.Latency().Snapshot()
+	chain := c.AggregateChain()
+
+	p.Throughput = float64(endTx-startTx) / elapsed.Seconds()
+	p.Mean, p.P50, p.P99 = lat.Mean, lat.P50, lat.P99
+	p.CGR, p.BI = chain.CGR, chain.BI
+	if err := c.ConsistencyCheck(); err != nil {
+		return p, err
+	}
+	if v := c.Violations(); v != 0 {
+		return p, fmt.Errorf("bench: %d safety violations", v)
+	}
+	return p, nil
+}
+
+// sweepClosed raises closed-loop concurrency until throughput stops
+// improving (the paper's "increase concurrency until saturated"),
+// returning all measured points.
+func (r *Runner) sweepClosed(cfg config.Config, levels []int, warm, window time.Duration) ([]Point, error) {
+	points := make([]Point, 0, len(levels))
+	var best float64
+	for _, lvl := range levels {
+		p, err := r.measure(cfg, lvl, 0, warm, window)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, p)
+		if p.Throughput > best {
+			best = p.Throughput
+		} else if p.Throughput < 0.9*best && len(points) >= 3 {
+			break // clearly past saturation
+		}
+	}
+	return points, nil
+}
+
+// calibrate measures the saturated closed-loop throughput of a
+// configuration — used to place open-loop rates for Table II/Figure 8.
+// The worker count must outrun the bandwidth-delay product: at commit
+// latencies around 10 ms, a thousand in-flight requests are needed to
+// expose six-figure Tx/s capacity.
+func (r *Runner) calibrate(cfg config.Config) (float64, error) {
+	p, err := r.measure(cfg, 1024, 0, r.scaled(time.Second), r.scaled(2*time.Second))
+	if err != nil {
+		return 0, err
+	}
+	return p.Throughput, nil
+}
+
+// MeasureTCPU estimates the model's t_CPU on this machine for a
+// scheme: the mean cost of one signature operation pair (sign+verify
+// averaged), which is what the paper's constant CPU term captures.
+func MeasureTCPU(schemeName string) (time.Duration, error) {
+	s, err := crypto.NewScheme(schemeName, 4, 1)
+	if err != nil {
+		return 0, err
+	}
+	digest := make([]byte, 32)
+	const iters = 2000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sig, err := s.Sign(1, digest)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.Verify(1, digest, sig); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / (2 * iters), nil
+}
+
+// MeasureLinkDelay measures the substrate's *effective* one-way
+// message delay under the configuration's network conditions — what
+// the paper means by "µ and σ can be determined via measurement". On a
+// busy host the effective delay exceeds the configured distribution
+// (timer granularity, scheduler hops), and feeding the measured values
+// to the model is what makes the Figure 8 comparison honest.
+func MeasureLinkDelay(cfg config.Config) (mu, sigma time.Duration, err error) {
+	cond := network.NewConditions(cfg.Seed)
+	cond.SetBaseDelay(cfg.Delay, cfg.DelayStd)
+	sw := network.NewSwitch(cond)
+	a, err := sw.Join(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := sw.Join(2)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		_ = a.Close()
+		_ = b.Close()
+	}()
+	const pings = 200
+	samples := make([]float64, 0, pings)
+	for i := 0; i < pings; i++ {
+		start := time.Now()
+		a.Send(2, types.QueryMsg{Height: uint64(i)})
+		select {
+		case <-b.Inbox():
+			samples = append(samples, float64(time.Since(start)))
+		case <-time.After(time.Second):
+			return 0, 0, fmt.Errorf("bench: link-delay probe lost")
+		}
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(len(samples))
+	var varsum float64
+	for _, s := range samples {
+		varsum += (s - mean) * (s - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(samples)))
+	return time.Duration(mean), time.Duration(std), nil
+}
+
+// modelParams assembles Section V parameters matching a substrate
+// configuration, with µ/σ and t_CPU measured on this host rather than
+// assumed.
+func (r *Runner) modelParams(cfg config.Config) (model.Params, error) {
+	tcpu, err := MeasureTCPU(cfg.CryptoScheme)
+	if err != nil {
+		return model.Params{}, err
+	}
+	mu, sigma, err := MeasureLinkDelay(cfg)
+	if err != nil {
+		return model.Params{}, err
+	}
+	txBytes := float64(24 + cfg.PayloadSize)
+	return model.Params{
+		N:          cfg.N,
+		BlockSize:  cfg.BlockSize,
+		Mu:         mu,
+		Sigma:      sigma,
+		TCPU:       tcpu,
+		BlockBytes: float64(cfg.BlockSize) * txBytes,
+		Bandwidth:  cfg.Bandwidth,
+	}, nil
+}
+
+// fmtMS renders a duration in milliseconds with two decimals.
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// fmtKTx renders a rate in thousands of transactions per second.
+func fmtKTx(rate float64) string {
+	return fmt.Sprintf("%.1f", rate/1000)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+)
+
+// runAttackFigure shares the machinery of Figures 13 and 14: 32 nodes
+// total, an increasing number of Byzantine nodes, measuring
+// throughput, latency, chain growth rate, and block intervals.
+func (r *Runner) runAttackFigure(strategy string, timeout time.Duration) error {
+	warm, window := r.scaled(time.Second), r.scaled(2500*time.Millisecond)
+	for _, proto := range happyPathProtocols {
+		for _, byz := range r.byzLevels() {
+			cfg := r.substrate()
+			cfg.Protocol = proto
+			cfg.ApplyProtocolDefaults()
+			cfg.N = 32
+			cfg.PayloadSize = 128
+			cfg.Strategy = strategy
+			cfg.ByzNo = byz
+			cfg.Timeout = timeout
+			p, err := r.measure(cfg, 32*8, 0, warm, window)
+			if err != nil {
+				return fmt.Errorf("%s %s byz=%d: %w", strategy, proto, byz, err)
+			}
+			r.printf("%-10s byz=%-3d tput=%7s KTx/s  lat=%8s ms  CGR=%.3f  BI=%.2f\n",
+				proto, byz, fmtKTx(p.Throughput), fmtMS(p.Mean), p.CGR, p.BI)
+		}
+	}
+	return nil
+}
+
+// RunFigure13 regenerates Figure 13: the forking attack on a 32-node
+// cluster with 0–10 Byzantine nodes. Expected shapes (Section VI-C):
+// Streamlet flat across every metric (immune — votes are broadcast
+// and honest replicas only extend the longest notarized chain); 2CHS
+// beats HotStuff on every metric because its attacker can overwrite
+// only one block per fork instead of two; HotStuff BI starts at ≈3
+// and 2CHS at ≈2 by their commit rules.
+func (r *Runner) RunFigure13() error {
+	r.printf("Figure 13: forking attack (n=32, increasing Byzantine nodes)\n")
+	return r.runAttackFigure(config.StrategyForking, 100*time.Millisecond)
+}
+
+// RunFigure14 regenerates Figure 14: the silence attack, timeout
+// 50 ms (the paper's setting so that only attacker views time out).
+// Expected shapes: throughput drops for all protocols as silent
+// proposers burn views; HotStuff and 2CHS lose the block preceding
+// each silent view (CGR < 1) while Streamlet's CGR stays 1; BI grows
+// faster than under forking for every protocol.
+func (r *Runner) RunFigure14() error {
+	r.printf("Figure 14: silence attack (n=32, increasing Byzantine nodes, timeout=50ms)\n")
+	return r.runAttackFigure(config.StrategySilence, 50*time.Millisecond)
+}

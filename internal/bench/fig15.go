@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/cluster"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
+)
+
+// RunFigure15 regenerates the responsiveness experiment (Figure 15):
+// four nodes under steady high load; after a warm phase the network
+// fluctuates for a window (message delays uniform in 10–100 ms); when
+// the fluctuation ends, one node launches a silence attack. Two
+// settings are compared:
+//
+//	t10:  view timeout 10 ms, every protocol proposes as soon as
+//	      2f+1 post-view-change messages arrive (responsive mode);
+//	t100: view timeout 100 ms, every protocol waits out the timeout
+//	      after a view change.
+//
+// The paper's result: under t10 all protocols stall during the
+// fluctuation; HotStuff resumes instantly when it ends (optimistic
+// responsiveness) while 2CHS and Streamlet can remain stuck; under
+// t100 everyone retains liveness at much lower throughput. The series
+// below print committed Tx/s per time bucket.
+func (r *Runner) RunFigure15() error {
+	pre := r.scaled(3 * time.Second)
+	fluct := r.scaled(10 * time.Second)
+	post := r.scaled(12 * time.Second)
+	bucket := r.scaled(500 * time.Millisecond)
+	r.printf("Figure 15: responsiveness (n=4; fluctuation %v of 10-100ms delays, then silence attack)\n", fluct)
+	settings := []struct {
+		label      string
+		timeout    time.Duration
+		responsive bool
+	}{
+		{"t10", 10 * time.Millisecond, true},
+		{"t100", 100 * time.Millisecond, false},
+	}
+	for _, s := range settings {
+		for _, proto := range happyPathProtocols {
+			series, err := r.runResponsivenessRun(proto, s.timeout, s.responsive, pre, fluct, post, bucket)
+			if err != nil {
+				return fmt.Errorf("fig15 %s-%s: %w", proto, s.label, err)
+			}
+			r.printf("%-14s", fmt.Sprintf("%s-%s:", proto, s.label))
+			for _, rate := range series {
+				r.printf(" %6.1f", rate/1000)
+			}
+			r.printf("  (KTx/s per %v bucket; fluctuation %v..%v, attack from %v)\n",
+				bucket, pre, pre+fluct, pre+fluct)
+		}
+	}
+	return nil
+}
+
+// runResponsivenessRun executes one timeline and returns the
+// committed-rate series.
+func (r *Runner) runResponsivenessRun(proto string, timeout time.Duration, responsive bool,
+	pre, fluct, post, bucket time.Duration) ([]float64, error) {
+
+	cfg := r.substrate()
+	cfg.Protocol = proto
+	cfg.Timeout = timeout
+	cfg.Responsive = responsive
+	cfg.MaxNetworkDelay = timeout
+	cfg.ByzNo = 1
+	cfg.Strategy = config.StrategySilence
+	cfg.StrategyDelay = pre + fluct
+
+	series := metrics.NewTimeSeries(time.Now(), bucket)
+	c, err := cluster.New(cfg, cluster.Options{CommitSeries: series})
+	if err != nil {
+		return nil, err
+	}
+	c.Conditions().Fluctuate(time.Now().Add(pre), fluct,
+		10*time.Millisecond, 100*time.Millisecond)
+	c.Start()
+	defer c.Stop()
+	cl, err := c.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	cl.RunClosedLoop(64, time.Second)
+	time.Sleep(pre + fluct + post)
+	if err := c.ConsistencyCheck(); err != nil {
+		return nil, err
+	}
+	return series.Rates(), nil
+}

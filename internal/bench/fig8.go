@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/model"
+)
+
+// fig8Protocols are the three protocols of the paper's comparison,
+// with their model counterparts.
+var fig8Protocols = []struct {
+	name  string
+	model model.Protocol
+}{
+	{config.ProtocolHotStuff, model.HotStuff},
+	{config.ProtocolTwoChainHS, model.TwoChainHotStuff},
+	{config.ProtocolStreamlet, model.Streamlet},
+}
+
+// RunFigure8 regenerates Figure 8: model-predicted versus measured
+// latency/throughput curves for HotStuff, 2CHS, and Streamlet across
+// the four (network size / block size) configurations 4/100, 8/100,
+// 4/400, 8/400. Open-loop Poisson load is swept toward saturation;
+// next to each measured point the model's latency estimate at the
+// same arrival rate is printed.
+func (r *Runner) RunFigure8() error {
+	r.printf("Figure 8: model vs implementation (latency ms @ KTx/s)\n")
+	warm, window := r.scaled(1*time.Second), r.scaled(2500*time.Millisecond)
+	for _, shape := range []struct{ n, bsize int }{
+		{4, 100}, {8, 100}, {4, 400}, {8, 400},
+	} {
+		r.printf("-- configuration %d/%d (replicas/block size) --\n", shape.n, shape.bsize)
+		for _, proto := range fig8Protocols {
+			cfg := r.substrate()
+			cfg.N = shape.n
+			cfg.BlockSize = shape.bsize
+			cfg.Protocol = proto.name
+			cfg.ApplyProtocolDefaults()
+			params, err := r.modelParams(cfg)
+			if err != nil {
+				return err
+			}
+			sat, err := r.calibrate(cfg)
+			if err != nil {
+				return fmt.Errorf("fig8 %s %d/%d: %w", proto.name, shape.n, shape.bsize, err)
+			}
+			r.printf("%-10s %-12s %-14s %-14s %-14s\n",
+				proto.name, "KTx/s", "impl lat(ms)", "model lat(ms)", "impl P99(ms)")
+			for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+				rate := sat * frac
+				p, err := r.measure(cfg, 0, rate, warm, window)
+				if err != nil {
+					return fmt.Errorf("fig8 %s: %w", proto.name, err)
+				}
+				// The model's λ is scaled to its own saturation
+				// point so both curves are compared at equal
+				// utilization, as the paper's plots do.
+				mLat, err := params.Latency(proto.model, frac*params.SaturationRate())
+				mOut := "sat"
+				if err == nil {
+					mOut = fmtMS(mLat)
+				}
+				r.printf("%-10s %-12s %-14s %-14s %-14s\n",
+					"", fmtKTx(p.Throughput), fmtMS(p.Mean), mOut, fmtMS(p.P99))
+			}
+		}
+	}
+	return nil
+}

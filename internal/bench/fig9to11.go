@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+)
+
+// happyPathProtocols is the paper's three-way comparison set.
+var happyPathProtocols = []string{
+	config.ProtocolHotStuff,
+	config.ProtocolTwoChainHS,
+	config.ProtocolStreamlet,
+}
+
+// printSeries emits one throughput/latency series.
+func (r *Runner) printSeries(label string, pts []Point) {
+	for _, p := range pts {
+		r.printf("%-16s conc=%-5.0f tput=%7s KTx/s  lat=%8s ms  p99=%8s ms\n",
+			label, p.Offered, fmtKTx(p.Throughput), fmtMS(p.Mean), fmtMS(p.P99))
+	}
+}
+
+// RunFigure9 regenerates Figure 9: throughput vs latency for block
+// sizes 100, 400, and 800 with zero transaction payload, including
+// the OHS baseline at sizes 100 and 800 (the paper obtained no
+// meaningful OHS results at 400, so it too is omitted here).
+func (r *Runner) RunFigure9() error {
+	r.printf("Figure 9: block sizes (payload 0 B, n=4)\n")
+	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
+	run := func(proto string, bsize int) error {
+		cfg := r.substrate()
+		cfg.Protocol = proto
+		cfg.ApplyProtocolDefaults()
+		cfg.BlockSize = bsize
+		cfg.PayloadSize = 0
+		pts, err := r.sweepClosed(cfg, r.levels(), warm, window)
+		if err != nil {
+			return fmt.Errorf("fig9 %s b%d: %w", proto, bsize, err)
+		}
+		r.printSeries(fmt.Sprintf("%s-b%d", proto, bsize), pts)
+		return nil
+	}
+	for _, proto := range happyPathProtocols {
+		for _, bsize := range []int{100, 400, 800} {
+			if err := run(proto, bsize); err != nil {
+				return err
+			}
+		}
+	}
+	for _, bsize := range []int{100, 800} {
+		if err := run(config.ProtocolOHS, bsize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFigure10 regenerates Figure 10: throughput vs latency for
+// transaction payload sizes 0, 128, and 1024 bytes at block size 400.
+func (r *Runner) RunFigure10() error {
+	r.printf("Figure 10: payload sizes (bsize=400, n=4)\n")
+	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
+	for _, proto := range happyPathProtocols {
+		for _, psize := range []int{0, 128, 1024} {
+			cfg := r.substrate()
+			cfg.Protocol = proto
+			cfg.ApplyProtocolDefaults()
+			cfg.PayloadSize = psize
+			pts, err := r.sweepClosed(cfg, r.levels(), warm, window)
+			if err != nil {
+				return fmt.Errorf("fig10 %s p%d: %w", proto, psize, err)
+			}
+			r.printSeries(fmt.Sprintf("%s-p%d", proto, psize), pts)
+		}
+	}
+	return nil
+}
+
+// RunFigure11 regenerates Figure 11: throughput vs latency under
+// added network delays of 0, 5±1, and 10±2 milliseconds (payload 128,
+// bsize 400).
+func (r *Runner) RunFigure11() error {
+	r.printf("Figure 11: network delays (bsize=400, payload=128, n=4)\n")
+	warm, window := r.scaled(time.Second), r.scaled(2500*time.Millisecond)
+	delays := []struct {
+		label string
+		mean  time.Duration
+		std   time.Duration
+	}{
+		{"d0", 0, 0},
+		{"d5", 5 * time.Millisecond, 1 * time.Millisecond},
+		{"d10", 10 * time.Millisecond, 2 * time.Millisecond},
+	}
+	for _, proto := range happyPathProtocols {
+		for _, d := range delays {
+			cfg := r.substrate()
+			cfg.Protocol = proto
+			cfg.ApplyProtocolDefaults()
+			cfg.PayloadSize = 128
+			if d.mean > 0 {
+				cfg.Delay, cfg.DelayStd = d.mean, d.std
+				// Delayed links need a proportionally longer view
+				// timer, like a real WAN deployment would set.
+				cfg.Timeout = 100*time.Millisecond + 10*d.mean
+			}
+			pts, err := r.sweepClosed(cfg, r.levels(), warm, window)
+			if err != nil {
+				return fmt.Errorf("fig11 %s %s: %w", proto, d.label, err)
+			}
+			r.printSeries(fmt.Sprintf("%s-%s", proto, d.label), pts)
+		}
+	}
+	return nil
+}

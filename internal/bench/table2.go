@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+)
+
+// RunTable2 regenerates Table II: transaction arrival rate versus
+// committed transaction throughput for HotStuff with block size 400
+// and 4 replicas. The paper's point — below saturation, throughput
+// tracks the arrival rate almost exactly — is checked by the Match
+// column. Arrival rates are placed at fractions of this machine's
+// measured saturation (the paper's absolute rates belong to its
+// testbed).
+func (r *Runner) RunTable2() error {
+	cfg := r.substrate()
+	cfg.Protocol = config.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.BlockSize = 400
+
+	sat, err := r.calibrate(cfg)
+	if err != nil {
+		return err
+	}
+	r.printf("Table II: arrival rate vs throughput (HotStuff, bsize=400, n=4)\n")
+	r.printf("(saturation calibrated at %s KTx/s on this host)\n", fmtKTx(sat))
+	r.printf("%-20s %-20s %-8s\n", "Arrival rate (Tx/s)", "Throughput (Tx/s)", "Match")
+	warm, window := r.scaled(1*time.Second), r.scaled(3*time.Second)
+	for _, frac := range []float64{0.15, 0.30, 0.45, 0.60, 0.75, 0.90, 0.98} {
+		rate := sat * frac
+		p, err := r.measure(cfg, 0, rate, warm, window)
+		if err != nil {
+			return fmt.Errorf("table2 rate %.0f: %w", rate, err)
+		}
+		match := p.Throughput / rate
+		r.printf("%-20.0f %-20.0f %.3f\n", rate, p.Throughput, match)
+	}
+	return nil
+}

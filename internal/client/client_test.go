@@ -1,0 +1,211 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// fakeReplica echoes commit replies for every request, optionally
+// rejecting, after an artificial service delay.
+type fakeReplica struct {
+	ep      network.Transport
+	delay   time.Duration
+	reject  bool
+	mu      sync.Mutex
+	seen    int
+	stopCh  chan struct{}
+	stopped sync.Once
+}
+
+func newFakeReplica(t *testing.T, sw *network.Switch, id types.NodeID, delay time.Duration, reject bool) *fakeReplica {
+	t.Helper()
+	ep, err := sw.Join(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeReplica{ep: ep, delay: delay, reject: reject, stopCh: make(chan struct{})}
+	go f.run()
+	t.Cleanup(f.stop)
+	return f
+}
+
+func (f *fakeReplica) run() {
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case env, ok := <-f.ep.Inbox():
+			if !ok {
+				return
+			}
+			req, isReq := env.Msg.(types.RequestMsg)
+			if !isReq {
+				continue
+			}
+			f.mu.Lock()
+			f.seen++
+			f.mu.Unlock()
+			from := env.From
+			time.AfterFunc(f.delay, func() {
+				f.ep.Send(from, types.ReplyMsg{TxID: req.Tx.ID, View: 1, Rejected: f.reject})
+			})
+		}
+	}
+}
+
+func (f *fakeReplica) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen
+}
+
+func (f *fakeReplica) stop() { f.stopped.Do(func() { close(f.stopCh) }) }
+
+func newClient(t *testing.T, sw *network.Switch, n int) *Client {
+	t.Helper()
+	ep, err := sw.JoinClient(10001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(ep, n, 64, 1)
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestSubmitAndWaitCommit(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	newFakeReplica(t, sw, 1, 5*time.Millisecond, false)
+	c := newClient(t, sw, 1)
+	if !c.SubmitAndWait(2 * time.Second) {
+		t.Fatal("commit reply not received")
+	}
+	if c.Committed() != 1 {
+		t.Fatalf("committed = %d", c.Committed())
+	}
+	s := c.Latency().Snapshot()
+	if s.Count != 1 || s.Mean < 4*time.Millisecond {
+		t.Fatalf("latency not recorded: %+v", s)
+	}
+}
+
+func TestSubmitAndWaitRejection(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	newFakeReplica(t, sw, 1, 0, true)
+	c := newClient(t, sw, 1)
+	if c.SubmitAndWait(2 * time.Second) {
+		t.Fatal("rejected transaction reported as committed")
+	}
+	if c.Rejected() != 1 {
+		t.Fatalf("rejected = %d", c.Rejected())
+	}
+}
+
+func TestSubmitAndWaitTimeout(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	newFakeReplica(t, sw, 1, time.Hour, false) // never answers in time
+	c := newClient(t, sw, 1)
+	start := time.Now()
+	if c.SubmitAndWait(50 * time.Millisecond) {
+		t.Fatal("timed-out transaction reported as committed")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout not honoured")
+	}
+}
+
+func TestClosedLoopKeepsOneInFlight(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	replica := newFakeReplica(t, sw, 1, 2*time.Millisecond, false)
+	c := newClient(t, sw, 1)
+	c.RunClosedLoop(4, time.Second)
+	time.Sleep(300 * time.Millisecond)
+	c.Stop()
+	committed := c.Committed()
+	if committed < 50 {
+		t.Fatalf("closed loop committed only %d", committed)
+	}
+	// With 4 workers and 2ms service, the replica cannot have seen
+	// wildly more requests than replies — workers really wait.
+	if int(committed) > replica.count() {
+		t.Fatalf("committed %d > requests %d", committed, replica.count())
+	}
+}
+
+func TestOpenLoopRateAndSampling(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	replica := newFakeReplica(t, sw, 1, time.Millisecond, false)
+	c := newClient(t, sw, 1)
+	const rate = 3000.0
+	c.RunOpenLoop(rate)
+	time.Sleep(500 * time.Millisecond)
+	c.Stop()
+	seen := float64(replica.count())
+	if seen < 0.6*rate*0.5 || seen > 1.4*rate*0.5 {
+		t.Fatalf("open loop delivered %.0f requests in 0.5s at rate %.0f", seen, rate)
+	}
+	if c.Latency().Snapshot().Count == 0 {
+		t.Fatal("latency sampling recorded nothing")
+	}
+}
+
+func TestFanoutReachesAllReplicas(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	replicas := []*fakeReplica{
+		newFakeReplica(t, sw, 1, 0, false),
+		newFakeReplica(t, sw, 2, 0, false),
+		newFakeReplica(t, sw, 3, 0, false),
+	}
+	c := newClient(t, sw, 3)
+	c.SetFanout(true)
+	if !c.SubmitAndWait(2 * time.Second) {
+		t.Fatal("fanout commit missing")
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		total := 0
+		for _, r := range replicas {
+			total += r.count()
+		}
+		if total == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fanout reached %d replicas, want 3", total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Duplicate replies after the first are harmless.
+	if c.Committed() != 1 {
+		t.Fatalf("committed = %d, want exactly 1", c.Committed())
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	c := newClient(t, sw, 1)
+	for _, mean := range []float64{0.5, 5, 50, 200} {
+		const draws = 3000
+		var sum float64
+		for i := 0; i < draws; i++ {
+			sum += float64(c.poisson(mean))
+		}
+		got := sum / draws
+		if got < 0.85*mean || got > 1.15*mean {
+			t.Fatalf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if c.poisson(0) != 0 || c.poisson(-1) != 0 {
+		t.Fatal("non-positive mean must yield zero")
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	sw := network.NewSwitch(nil)
+	c := newClient(t, sw, 1)
+	c.Stop()
+	c.Stop()
+}

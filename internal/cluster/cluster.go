@@ -1,0 +1,278 @@
+// Package cluster orchestrates an in-process Bamboo deployment: N
+// replicas over the channel switch, a shared signature scheme, fault
+// injection through the network condition model, benchmark clients,
+// and cross-replica consistency checking. Integration tests and every
+// figure's bench runner build on it.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/client"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/core"
+	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/election"
+	"github.com/bamboo-bft/bamboo/internal/kvstore"
+	"github.com/bamboo-bft/bamboo/internal/ledger"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/protocol"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// clientIDBase offsets client endpoint IDs above any replica ID.
+const clientIDBase = 1 << 16
+
+// Options tunes cluster assembly.
+type Options struct {
+	// WithStores attaches a kvstore to every replica.
+	WithStores bool
+	// CommitSeries, if non-nil, receives the observer replica's
+	// committed transaction counts over time (Figure 15).
+	CommitSeries *metrics.TimeSeries
+	// OnViolation is invoked on any replica's safety violation.
+	OnViolation func(error)
+	// Elector overrides leader election for every replica (e.g.
+	// hash-based election, the Section V-E design choice); nil uses
+	// the configuration's default (round-robin, or static master).
+	Elector election.Elector
+	// LedgerDir, when set, gives every replica a persistent ledger
+	// file (<dir>/replica-<id>.ledger) of its committed chain.
+	LedgerDir string
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	cfg     config.Config
+	sw      *network.Switch
+	scheme  crypto.Scheme
+	nodes   map[types.NodeID]*core.Node
+	stores  map[types.NodeID]*kvstore.Store
+	ledgers []*ledger.Ledger
+	clients []*client.Client
+	nextCli uint64
+}
+
+// New assembles a cluster from the run configuration. Replicas are
+// constructed but not started.
+func New(cfg config.Config, opts Options) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	factory, err := protocol.Factory(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := crypto.NewScheme(cfg.CryptoScheme, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cond := network.NewConditions(cfg.Seed)
+	cond.SetBaseDelay(cfg.Delay, cfg.DelayStd)
+	if cfg.Bandwidth > 0 {
+		cond.SetBandwidth(cfg.Bandwidth)
+	}
+	sw := network.NewSwitch(cond)
+
+	c := &Cluster{
+		cfg:    cfg,
+		sw:     sw,
+		scheme: scheme,
+		nodes:  make(map[types.NodeID]*core.Node, cfg.N),
+		stores: make(map[types.NodeID]*kvstore.Store),
+	}
+	observer := c.Observer()
+	for i := 1; i <= cfg.N; i++ {
+		id := types.NodeID(i)
+		ep, err := sw.Join(id)
+		if err != nil {
+			return nil, err
+		}
+		nodeOpts := core.Options{OnViolation: opts.OnViolation, Elector: opts.Elector}
+		if opts.WithStores {
+			store := kvstore.New()
+			c.stores[id] = store
+			nodeOpts.Execute = store.Apply
+		}
+		if opts.CommitSeries != nil && id == observer {
+			nodeOpts.CommitSeries = opts.CommitSeries
+		}
+		if opts.LedgerDir != "" {
+			led, err := ledger.OpenBuffered(
+				filepath.Join(opts.LedgerDir, fmt.Sprintf("replica-%d.ledger", i)))
+			if err != nil {
+				return nil, err
+			}
+			nodeOpts.Ledger = led
+			c.ledgers = append(c.ledgers, led)
+		}
+		c.nodes[id] = core.NewNode(id, cfg, factory, ep, scheme, nodeOpts)
+	}
+	return c, nil
+}
+
+// Observer returns the replica whose metrics represent the run: the
+// highest-ID node, which is always honest (Byzantine nodes take the
+// lowest IDs).
+func (c *Cluster) Observer() types.NodeID { return types.NodeID(c.cfg.N) }
+
+// Start launches every replica.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		n.Start()
+	}
+}
+
+// Stop halts clients first, then replicas, then the switch scheduler,
+// then flushes and closes any ledgers.
+func (c *Cluster) Stop() {
+	for _, cl := range c.clients {
+		cl.Stop()
+	}
+	c.clients = nil
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.sw.Close()
+	for _, led := range c.ledgers {
+		_ = led.Close()
+	}
+	c.ledgers = nil
+}
+
+// Node returns a replica by ID.
+func (c *Cluster) Node(id types.NodeID) *core.Node { return c.nodes[id] }
+
+// Store returns a replica's kvstore (nil without WithStores).
+func (c *Cluster) Store(id types.NodeID) *kvstore.Store { return c.stores[id] }
+
+// Conditions exposes the network fault-injection surface.
+func (c *Cluster) Conditions() *network.Conditions { return c.sw.Conditions() }
+
+// NetworkStats reports switch-wide message counters.
+func (c *Cluster) NetworkStats() (msgs, bytes, dropped uint64) { return c.sw.Stats() }
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() config.Config { return c.cfg }
+
+// NewClient attaches a benchmark client to the switch.
+func (c *Cluster) NewClient() (*client.Client, error) {
+	c.nextCli++
+	ep, err := c.sw.JoinClient(types.NodeID(clientIDBase + c.nextCli))
+	if err != nil {
+		return nil, err
+	}
+	cl := client.New(ep, c.cfg.N, c.cfg.PayloadSize, c.cfg.Seed+int64(c.nextCli))
+	c.clients = append(c.clients, cl)
+	return cl, nil
+}
+
+// HonestNodes lists the non-Byzantine replicas.
+func (c *Cluster) HonestNodes() []*core.Node {
+	out := make([]*core.Node, 0, c.cfg.N)
+	for i := 1; i <= c.cfg.N; i++ {
+		id := types.NodeID(i)
+		if !c.cfg.IsByzantine(id) {
+			out = append(out, c.nodes[id])
+		}
+	}
+	return out
+}
+
+// Violations sums safety violations across all replicas; correct runs
+// return zero.
+func (c *Cluster) Violations() uint64 {
+	var total uint64
+	for _, n := range c.nodes {
+		total += n.Violations()
+	}
+	return total
+}
+
+// ConsistencyCheck verifies that every pair of honest replicas agrees
+// on the committed block hash at their common committed height — the
+// paper's cross-node consistency check on the main chain.
+func (c *Cluster) ConsistencyCheck() error {
+	honest := c.HonestNodes()
+	if len(honest) < 2 {
+		return nil
+	}
+	min := honest[0].Status().CommittedHeight
+	for _, n := range honest[1:] {
+		if h := n.Status().CommittedHeight; h < min {
+			min = h
+		}
+	}
+	if min == 0 {
+		return nil
+	}
+	// Compare at several heights, not just the tip, to catch
+	// divergence that later commits could mask.
+	for _, h := range []uint64{min, min / 2, 1} {
+		var want types.Hash
+		var wantFrom types.NodeID
+		for _, n := range honest {
+			got, ok := n.HashAt(h)
+			if !ok {
+				continue // compacted beyond window on this replica
+			}
+			if want.IsZero() {
+				want, wantFrom = got, n.ID()
+				continue
+			}
+			if got != want {
+				return fmt.Errorf("cluster: replicas %s and %s disagree at height %d: %s vs %s",
+					wantFrom, n.ID(), h, want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// WaitForHeight blocks until every honest replica's committed height
+// reaches the target, or the deadline passes.
+func (c *Cluster) WaitForHeight(target uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		for _, n := range c.HonestNodes() {
+			if n.Status().CommittedHeight < target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("cluster: timed out waiting for committed height")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// AggregateChain averages the chain micro-metrics (CGR, BI) over the
+// honest replicas, the way the paper reports them "from a replica's
+// view".
+func (c *Cluster) AggregateChain() metrics.ChainStats {
+	honest := c.HonestNodes()
+	var agg metrics.ChainStats
+	for _, n := range honest {
+		s := n.Tracker().Snapshot()
+		agg.BlocksAdded += s.BlocksAdded
+		agg.BlocksCommitted += s.BlocksCommitted
+		agg.ViewsEntered += s.ViewsEntered
+		agg.TxCommitted += s.TxCommitted
+		agg.CGR += s.CGR
+		agg.BI += s.BI
+	}
+	if len(honest) > 0 {
+		agg.CGR /= float64(len(honest))
+		agg.BI /= float64(len(honest))
+	}
+	return agg
+}

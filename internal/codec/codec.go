@@ -1,0 +1,85 @@
+// Package codec serializes protocol messages for the TCP transport.
+// It wraps encoding/gob with explicit type registration so any message
+// defined in internal/types can travel as an interface value, mirroring
+// the Paxi-style message-passing layer the paper's framework reuses.
+package codec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Envelope frames a message with its sender for transports that
+// multiplex many logical links over one connection.
+type Envelope struct {
+	From types.NodeID
+	Msg  any
+}
+
+var registerOnce sync.Once
+
+// registerTypes makes every wire message known to gob. Called lazily
+// by the encoder/decoder constructors (no package init, per style
+// guide) and safe to call many times.
+func registerTypes() {
+	registerOnce.Do(func() {
+		gob.Register(types.ProposalMsg{})
+		gob.Register(types.VoteMsg{})
+		gob.Register(types.TimeoutMsg{})
+		gob.Register(types.TCMsg{})
+		gob.Register(types.FetchMsg{})
+		gob.Register(types.RequestMsg{})
+		gob.Register(types.ReplyMsg{})
+		gob.Register(types.QueryMsg{})
+		gob.Register(types.QueryReplyMsg{})
+		gob.Register(types.SlowMsg{})
+	})
+}
+
+// Encoder writes envelopes to a stream. It is not safe for concurrent
+// use; guard it with the connection's write lock.
+type Encoder struct {
+	enc *gob.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	registerTypes()
+	return &Encoder{enc: gob.NewEncoder(w)}
+}
+
+// Encode writes one envelope.
+func (e *Encoder) Encode(env Envelope) error {
+	if err := e.enc.Encode(&env); err != nil {
+		return fmt.Errorf("codec: encode: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads envelopes from a stream.
+type Decoder struct {
+	dec *gob.Decoder
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	registerTypes()
+	return &Decoder{dec: gob.NewDecoder(r)}
+}
+
+// Decode reads one envelope. It returns io.EOF unchanged when the
+// stream ends cleanly so callers can distinguish shutdown from damage.
+func (d *Decoder) Decode() (Envelope, error) {
+	var env Envelope
+	if err := d.dec.Decode(&env); err != nil {
+		if err == io.EOF {
+			return env, io.EOF
+		}
+		return env, fmt.Errorf("codec: decode: %w", err)
+	}
+	return env, nil
+}

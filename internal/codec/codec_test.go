@@ -1,0 +1,161 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(Envelope{From: 3, Msg: msg}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	env, err := NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if env.From != 3 {
+		t.Fatalf("sender lost: %v", env.From)
+	}
+	return env.Msg
+}
+
+func TestProposalRoundTrip(t *testing.T) {
+	block := &types.Block{
+		View:     9,
+		Proposer: 2,
+		Parent:   types.Hash{1, 2},
+		QC: &types.QC{
+			View:    8,
+			BlockID: types.Hash{1, 2},
+			Signers: []types.NodeID{1, 2, 3},
+			Sigs:    [][]byte{{9}, {8}, {7}},
+		},
+		Payload: []types.Transaction{
+			{ID: types.TxID{Client: 4, Seq: 2}, Command: []byte("put k v"), SubmitUnixNano: 12345},
+		},
+		Sig: []byte{0xaa},
+	}
+	wantID := block.ID()
+	got, ok := roundTrip(t, types.ProposalMsg{Block: block}).(types.ProposalMsg)
+	if !ok {
+		t.Fatal("wrong type decoded")
+	}
+	if got.Block.ID() != wantID {
+		t.Fatalf("block ID changed across wire: %s vs %s", got.Block.ID(), wantID)
+	}
+	if !reflect.DeepEqual(got.Block.QC, block.QC) {
+		t.Fatalf("QC mangled: %+v", got.Block.QC)
+	}
+	if got.Block.Payload[0].SubmitUnixNano != 12345 {
+		t.Fatal("tx timestamp lost")
+	}
+}
+
+func TestAllMessageKindsRoundTrip(t *testing.T) {
+	qc := &types.QC{View: 1, BlockID: types.Hash{5}, Signers: []types.NodeID{1}, Sigs: [][]byte{{1}}}
+	msgs := []any{
+		types.VoteMsg{Vote: &types.Vote{View: 2, BlockID: types.Hash{3}, Voter: 1, Sig: []byte{1}}},
+		types.TimeoutMsg{Timeout: &types.Timeout{View: 2, Voter: 1, HighQC: qc, Sig: []byte{2}}},
+		types.TCMsg{TC: &types.TC{View: 2, Signers: []types.NodeID{1, 2, 3}, Sigs: [][]byte{{1}, {2}, {3}}, HighQC: qc}},
+		types.RequestMsg{Tx: types.Transaction{ID: types.TxID{Client: 1, Seq: 2}, Command: []byte("x")}},
+		types.ReplyMsg{TxID: types.TxID{Client: 1, Seq: 2}, View: 7, BlockID: types.Hash{1}},
+		types.QueryMsg{Height: 11},
+		types.QueryReplyMsg{CommittedHeight: 11, CommittedView: 12, BlockHash: types.Hash{2}},
+		types.SlowMsg{DelayMeanNanos: 100, DelayStdNanos: 10},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T mangled: got %+v want %+v", m, got, m)
+		}
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	// A single encoder/decoder pair must survive many messages on
+	// one stream, as the TCP transport keeps connections open.
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	const count = 100
+	for i := 0; i < count; i++ {
+		msg := types.VoteMsg{Vote: &types.Vote{View: types.View(i), Voter: 1}}
+		if err := enc.Encode(Envelope{From: 1, Msg: msg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i := 0; i < count; i++ {
+		env, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		vm, ok := env.Msg.(types.VoteMsg)
+		if !ok || vm.Vote.View != types.View(i) {
+			t.Fatalf("message %d out of order or mangled", i)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestDecodeCorruptStream(t *testing.T) {
+	buf := bytes.NewBufferString("this is not gob")
+	if _, err := NewDecoder(buf).Decode(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt stream must fail loudly, got %v", err)
+	}
+}
+
+// Property: request messages round-trip for arbitrary payloads.
+func TestRequestRoundTripQuick(t *testing.T) {
+	f := func(client, seq uint64, cmd []byte, ts int64) bool {
+		msg := types.RequestMsg{Tx: types.Transaction{
+			ID: types.TxID{Client: client, Seq: seq}, Command: cmd, SubmitUnixNano: ts,
+		}}
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg}); err != nil {
+			return false
+		}
+		env, err := NewDecoder(&buf).Decode()
+		if err != nil {
+			return false
+		}
+		got, ok := env.Msg.(types.RequestMsg)
+		if !ok {
+			return false
+		}
+		// gob collapses empty and nil slices; normalize.
+		if len(cmd) == 0 {
+			return got.Tx.ID == msg.Tx.ID && len(got.Tx.Command) == 0 && got.Tx.SubmitUnixNano == ts
+		}
+		return reflect.DeepEqual(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeProposal400(b *testing.B) {
+	payload := make([]types.Transaction, 400)
+	for i := range payload {
+		payload[i] = types.Transaction{ID: types.TxID{Client: 1, Seq: uint64(i)}, Command: make([]byte, 128)}
+	}
+	block := &types.Block{View: 1, Proposer: 1, QC: types.GenesisQC(), Payload: payload}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := enc.Encode(Envelope{From: 1, Msg: types.ProposalMsg{Block: block}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/attack"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/mempool"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// pendingQCLimit bounds the buffered-certificate map.
+const pendingQCLimit = 1024
+
+// echoSeenLimit bounds Streamlet's echo dedup cache.
+const echoSeenLimit = 1 << 13
+
+// propose builds, signs, and disseminates this view's proposal.
+func (n *Node) propose(view types.View, tc *types.TC) {
+	if view != n.pm.CurView() || n.proposedInView >= view {
+		return
+	}
+	payload := n.takePayload()
+	block := n.rules.Propose(view, payload)
+	if block == nil {
+		// Silence strategy: withhold the proposal but keep the
+		// transactions for a later view.
+		n.returnPayload(payload)
+		return
+	}
+	n.proposedInView = view
+	n.stampPayloadOwnership(block.Payload)
+	sig, err := n.scheme.Sign(n.id, types.SigningDigest(block.View, block.ID()))
+	if err != nil {
+		n.returnPayload(payload)
+		return
+	}
+	block.Sig = sig
+	msg := types.ProposalMsg{Block: block, TC: tc}
+
+	if eq, ok := n.rules.(attack.Equivocator); ok {
+		if alt := eq.ProposeAlt(view, payload); alt != nil {
+			if altSig, err := n.scheme.Sign(n.id, types.SigningDigest(alt.View, alt.ID())); err == nil {
+				alt.Sig = altSig
+				n.equivocast(msg, types.ProposalMsg{Block: alt, TC: tc})
+				n.onProposal(n.id, msg)
+				return
+			}
+		}
+	}
+	n.net.Broadcast(msg)
+	n.onProposal(n.id, msg)
+}
+
+// equivocast sends msgA to the lower half of the replicas and msgB to
+// the upper half.
+func (n *Node) equivocast(msgA, msgB types.ProposalMsg) {
+	half := types.NodeID(n.cfg.N / 2)
+	for id := types.NodeID(1); id <= types.NodeID(n.cfg.N); id++ {
+		if id == n.id {
+			continue
+		}
+		if id <= half {
+			n.net.Send(id, msgA)
+		} else {
+			n.net.Send(id, msgB)
+		}
+	}
+}
+
+// takePayload draws the next batch from the client path.
+func (n *Node) takePayload() []types.Transaction {
+	if n.policy.LightweightPool {
+		k := n.cfg.BlockSize
+		if k > len(n.lightPool) {
+			k = len(n.lightPool)
+		}
+		batch := n.lightPool[:k]
+		n.lightPool = n.lightPool[k:]
+		return batch
+	}
+	return n.pool.Batch(n.cfg.BlockSize)
+}
+
+// returnPayload puts an unused batch back at the front of the queue.
+func (n *Node) returnPayload(payload []types.Transaction) {
+	if len(payload) == 0 {
+		return
+	}
+	if n.policy.LightweightPool {
+		// Never append into the payload slice: it may share a
+		// backing array with a later block's payload (blocks travel
+		// by pointer in-process), and an in-place prepend would
+		// corrupt that block under every other replica.
+		combined := make([]types.Transaction, 0, len(payload)+len(n.lightPool))
+		combined = append(combined, payload...)
+		combined = append(combined, n.lightPool...)
+		n.lightPool = combined
+		return
+	}
+	n.pool.Requeue(payload)
+}
+
+// stampPayloadOwnership is a hook point: ownership was recorded at
+// request time; nothing to do today, but the indirection keeps the
+// propose path explicit about the reply contract.
+func (n *Node) stampPayloadOwnership([]types.Transaction) {}
+
+// onProposal handles a block proposal (or a fetched ancestor).
+func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg) {
+	b := m.Block
+	if b == nil || b.QC == nil {
+		return
+	}
+	id := b.ID()
+	if n.forest.Contains(id) {
+		// Seen already (echo duplicates land here); a TC may still
+		// be news.
+		if m.TC != nil && from != n.id {
+			n.onTC(m.TC, true)
+		}
+		return
+	}
+	// Authenticate: right leader, valid proposer signature, valid
+	// embedded certificate.
+	if b.Proposer != n.elect.Leader(b.View) {
+		return
+	}
+	if from != n.id {
+		if err := n.scheme.Verify(b.Proposer, types.SigningDigest(b.View, id), b.Sig); err != nil {
+			return
+		}
+		if err := crypto.VerifyQC(n.scheme, b.QC, n.cfg.Quorum()); err != nil {
+			return
+		}
+	}
+	if n.policy.EchoMessages && from != n.id {
+		if _, seen := n.echoSeen[id]; !seen {
+			n.rememberEcho(id)
+			n.net.Broadcast(m)
+		}
+	}
+	if m.TC != nil && from != n.id {
+		n.onTC(m.TC, true)
+	}
+
+	attached, err := n.forest.Add(b)
+	switch err {
+	case nil:
+	case forest.ErrDuplicate, forest.ErrStale:
+		return
+	default:
+		return
+	}
+	if len(attached) == 0 {
+		// Orphan: buffered inside the forest; ask the sender for
+		// the missing ancestor and remember the certificate.
+		n.bufferQC(b.QC)
+		if from != n.id {
+			n.net.Send(from, types.FetchMsg{BlockID: b.Parent})
+		}
+		return
+	}
+	for _, ab := range attached {
+		// Scrub the block's transactions from the local pool before
+		// any chance of proposing: with client fan-out, several
+		// replicas hold the same transaction, and whoever proposes
+		// next must not re-batch what this block already carries.
+		n.scrubPayload(ab)
+		abID := ab.ID()
+		if qc, ok := n.pendingQCs[abID]; ok {
+			delete(n.pendingQCs, abID)
+			n.handleQC(qc)
+		}
+		n.handleQC(ab.QC)
+		if ab == b {
+			n.maybeVote(b, m.TC)
+		}
+	}
+}
+
+// scrubPayload drops another proposer's queued duplicates.
+func (n *Node) scrubPayload(b *types.Block) {
+	if b.Proposer == n.id || n.policy.LightweightPool ||
+		len(b.Payload) == 0 || n.pool.Len() == 0 {
+		return
+	}
+	ids := make([]types.TxID, len(b.Payload))
+	for i := range b.Payload {
+		ids[i] = b.Payload[i].ID
+	}
+	n.pool.Remove(ids)
+}
+
+// maybeVote applies the protocol's voting rule and routes the vote.
+// A replica votes for proposals of its current view or one view ahead:
+// the lookahead is inherent to chained pipelining — the proposer of
+// view v holds QC(v−1) before anyone else, so honest voters are
+// legitimately one view behind. (It is also what lets the forking
+// attacker's old-parent proposal gather votes, exactly as in the
+// paper's Figure 5; without lookahead the attack degenerates into
+// silence.) More than one view ahead is refused, so a Byzantine
+// proposer cannot drag lastVoted into the far future and starve the
+// intervening views.
+func (n *Node) maybeVote(b *types.Block, tc *types.TC) {
+	cur := n.pm.CurView()
+	if b.View < cur || b.View > cur+1 {
+		return
+	}
+	if !n.rules.VoteRule(b, tc) {
+		return
+	}
+	// A vote is this replica accepting the block onto its chain:
+	// the event the chain-growth-rate denominator counts
+	// (Section IV-B). Blocks the voting rule rejects never "append"
+	// from this replica's point of view.
+	n.tracker.OnBlockAdded()
+	id := b.ID()
+	sig, err := n.scheme.Sign(n.id, types.SigningDigest(b.View, id))
+	if err != nil {
+		return
+	}
+	vote := &types.Vote{View: b.View, BlockID: id, Voter: n.id, Sig: sig}
+	msg := types.VoteMsg{Vote: vote}
+	if n.policy.BroadcastVote {
+		n.net.Broadcast(msg)
+		n.onVote(n.id, vote)
+		return
+	}
+	next := n.elect.Leader(b.View + 1)
+	if next == n.id {
+		n.onVote(n.id, vote)
+		return
+	}
+	n.net.Send(next, msg)
+}
+
+// onVote verifies and aggregates a vote; a completed quorum forms a QC.
+func (n *Node) onVote(from types.NodeID, v *types.Vote) {
+	if v == nil {
+		return
+	}
+	cur := n.pm.CurView()
+	if v.View+4 < cur {
+		return // too old to ever matter
+	}
+	if from != n.id {
+		if err := n.scheme.Verify(v.Voter, types.SigningDigest(v.View, v.BlockID), v.Sig); err != nil {
+			return
+		}
+	}
+	if n.policy.EchoMessages && from != n.id {
+		key := echoKeyForVote(v)
+		if _, seen := n.echoSeen[key]; !seen {
+			n.rememberEcho(key)
+			n.net.Broadcast(types.VoteMsg{Vote: v})
+		}
+	}
+	if qc, formed := n.votes.Add(v); formed {
+		n.handleQC(qc)
+	}
+}
+
+// handleQC ingests a (verified or locally formed) certificate: certify
+// the block in the forest, let the protocol update its state, check
+// the commit rule, and ride the QC into the next view.
+func (n *Node) handleQC(qc *types.QC) {
+	if qc == nil {
+		return
+	}
+	if n.forest.Contains(qc.BlockID) {
+		n.forest.Certify(qc)
+	} else if !qc.IsGenesis() {
+		n.bufferQC(qc)
+	}
+	n.rules.UpdateState(qc)
+	if target := n.rules.CommitRule(qc); target != nil {
+		n.commit(target)
+	}
+	if n.pm.AdvanceTo(qc.View + 1) {
+		n.onNewView(nil)
+	}
+}
+
+// bufferQC remembers the freshest certificate for a missing block.
+func (n *Node) bufferQC(qc *types.QC) {
+	if qc == nil || qc.IsGenesis() {
+		return
+	}
+	if old, ok := n.pendingQCs[qc.BlockID]; ok && old.View >= qc.View {
+		return
+	}
+	if len(n.pendingQCs) >= pendingQCLimit {
+		cur := n.pm.CurView()
+		for h, pqc := range n.pendingQCs {
+			if pqc.View+16 < cur {
+				delete(n.pendingQCs, h)
+			}
+		}
+	}
+	n.pendingQCs[qc.BlockID] = qc
+}
+
+// commit finalizes target and its prefix, executes payloads, replies
+// to owned clients, and recycles forked transactions.
+func (n *Node) commit(target *types.Block) {
+	res, err := n.forest.Commit(target.ID())
+	if err != nil {
+		if err == forest.ErrSafetyViolation {
+			n.warn(err)
+		}
+		return
+	}
+	if len(res.Committed) == 0 && len(res.Forked) == 0 {
+		return
+	}
+	now := time.Now()
+	cur := n.pm.CurView()
+	n.statusMu.Lock()
+	for _, cb := range res.Committed {
+		n.committedHashes = append(n.committedHashes, cb.ID())
+	}
+	n.statusMu.Unlock()
+	height := n.forest.CommittedHeight() - uint64(len(res.Committed))
+	for _, cb := range res.Committed {
+		height++
+		n.tracker.OnBlockCommitted(cb.View, cur, len(cb.Payload))
+		if n.opts.Ledger != nil {
+			// Persistence is best-effort relative to consensus: the
+			// in-memory chain stays authoritative on append failure.
+			_ = n.opts.Ledger.Append(cb, height)
+		}
+		if n.opts.Execute != nil {
+			n.opts.Execute(cb.Payload)
+		}
+		if n.opts.CommitSeries != nil {
+			n.opts.CommitSeries.Add(now, uint64(len(cb.Payload)))
+		}
+		for _, fn := range n.commitListeners {
+			fn(cb.View, cb.ID(), cb.Payload)
+		}
+		for i := range cb.Payload {
+			txID := cb.Payload[i].ID
+			if client, ok := n.owned[txID]; ok {
+				delete(n.owned, txID)
+				n.net.Send(client, types.ReplyMsg{
+					TxID:    txID,
+					View:    cb.View,
+					BlockID: cb.ID(),
+				})
+			}
+		}
+	}
+	for _, fb := range res.Forked {
+		if fb.Proposer == n.id && len(fb.Payload) > 0 {
+			n.returnPayload(fb.Payload)
+		}
+	}
+	n.publishStatus()
+}
+
+// onLocalTimeout fires when the view timer expires: broadcast a signed
+// timeout carrying the freshest QC (the pacemaker of Section III-B).
+func (n *Node) onLocalTimeout(view types.View) {
+	if view != n.pm.CurView() {
+		return
+	}
+	n.broadcastTimeout(view)
+}
+
+// broadcastTimeout signs and disseminates ⟨TIMEOUT, view⟩.
+func (n *Node) broadcastTimeout(view types.View) {
+	sig, err := n.scheme.Sign(n.id, types.TimeoutDigest(view))
+	if err != nil {
+		return
+	}
+	if view > n.lastTimeoutView {
+		n.lastTimeoutView = view
+	}
+	t := &types.Timeout{View: view, Voter: n.id, HighQC: n.rules.HighQC(), Sig: sig}
+	n.net.Broadcast(types.TimeoutMsg{Timeout: t})
+	n.onTimeoutMsg(t)
+}
+
+// onTimeoutMsg verifies and aggregates a timeout; a completed quorum
+// forms a TC that is forwarded to the next leader.
+func (n *Node) onTimeoutMsg(t *types.Timeout) {
+	if t == nil {
+		return
+	}
+	if t.Voter != n.id {
+		if err := n.scheme.Verify(t.Voter, types.TimeoutDigest(t.View), t.Sig); err != nil {
+			return
+		}
+		// Adopt the carried QC even when the timeout itself is
+		// stale: a non-responsive leader waiting out Δ uses these
+		// to learn the freshest certified block.
+		if t.HighQC != nil && !t.HighQC.IsGenesis() {
+			if err := crypto.VerifyQC(n.scheme, t.HighQC, n.cfg.Quorum()); err == nil {
+				n.handleQC(t.HighQC)
+			}
+		}
+	}
+	tc, formed := n.pm.OnTimeoutMsg(t)
+	if !formed {
+		// f+1 join rule (Bracha-style amplification): if f+1
+		// distinct replicas are timing out of a view ahead of the
+		// highest one we signed, at least one is honest — join
+		// them so staggered replicas converge on a common timeout
+		// view and the TC can complete.
+		if t.Voter != n.id && t.View > n.lastTimeoutView &&
+			n.pm.TimeoutCount(t.View) > config.MaxFaults(n.cfg.N) {
+			n.broadcastTimeout(t.View)
+		}
+		return
+	}
+	next := n.elect.Leader(tc.View + 1)
+	if next != n.id {
+		n.net.Send(next, types.TCMsg{TC: tc})
+	}
+	n.onTC(tc, false)
+}
+
+// onTC ingests a timeout certificate, advancing the view.
+func (n *Node) onTC(tc *types.TC, needVerify bool) {
+	if tc == nil {
+		return
+	}
+	if needVerify {
+		if err := crypto.VerifyTC(n.scheme, tc, n.cfg.Quorum()); err != nil {
+			return
+		}
+		if tc.HighQC != nil && !tc.HighQC.IsGenesis() {
+			if err := crypto.VerifyQC(n.scheme, tc.HighQC, n.cfg.Quorum()); err != nil {
+				return
+			}
+		}
+	}
+	if tc.HighQC != nil {
+		n.handleQC(tc.HighQC)
+	}
+	if n.pm.AdvanceTo(tc.View + 1) {
+		n.onNewView(tc)
+	}
+}
+
+// onNewView runs once per view entry: housekeeping plus, when this
+// replica leads the view, proposing — immediately in the responsive
+// mode, after the maximum network delay otherwise.
+func (n *Node) onNewView(tc *types.TC) {
+	view := n.pm.CurView()
+	n.tracker.OnViewEntered()
+	if view > 4 {
+		n.votes.Prune(view - 4)
+	}
+	n.publishStatus()
+	if n.elect.Leader(view) != n.id {
+		return
+	}
+	if tc != nil && !n.cfg.Responsive && n.cfg.MaxNetworkDelay > 0 {
+		// Non-responsive view change: wait Δ collecting stray
+		// timeout messages (and their high QCs) before proposing.
+		time.AfterFunc(n.cfg.MaxNetworkDelay, func() {
+			select {
+			case n.events <- proposeEvent{view: view, tc: tc}:
+			case <-n.stopCh:
+			}
+		})
+		return
+	}
+	n.propose(view, tc)
+}
+
+// onRequest admits a client transaction into the replica's pool.
+func (n *Node) onRequest(from types.NodeID, tx types.Transaction) {
+	if n.policy.LightweightPool {
+		if len(n.lightPool) >= 4*n.cfg.MemSize {
+			n.net.Send(from, types.ReplyMsg{TxID: tx.ID, Rejected: true})
+			return
+		}
+		n.lightPool = append(n.lightPool, tx)
+		n.owned[tx.ID] = from
+		return
+	}
+	if err := n.pool.Add(tx); err != nil {
+		if err == mempool.ErrFull {
+			n.net.Send(from, types.ReplyMsg{TxID: tx.ID, Rejected: true})
+		}
+		return
+	}
+	n.owned[tx.ID] = from
+}
+
+// onFetch serves a missing-ancestor request from the local forest.
+func (n *Node) onFetch(from types.NodeID, m types.FetchMsg) {
+	if b, ok := n.forest.Block(m.BlockID); ok {
+		n.net.Send(from, types.ProposalMsg{Block: b})
+	}
+}
+
+// onQuery answers a state query (consistency checks, HTTP API).
+func (n *Node) onQuery(from types.NodeID, m types.QueryMsg) {
+	reply := types.QueryReplyMsg{
+		CommittedHeight: n.forest.CommittedHeight(),
+		CommittedView:   n.forest.CommittedHead().View,
+	}
+	if m.Height != 0 {
+		if h, ok := n.forest.CommittedHash(m.Height); ok {
+			reply.BlockHash = h
+		}
+	} else {
+		reply.BlockHash = n.forest.CommittedHead().ID()
+	}
+	n.net.Send(from, reply)
+}
+
+// rememberEcho inserts into the bounded echo cache.
+func (n *Node) rememberEcho(key types.Hash) {
+	if len(n.echoSeen) >= echoSeenLimit {
+		n.echoSeen = make(map[types.Hash]struct{}, echoSeenLimit)
+	}
+	n.echoSeen[key] = struct{}{}
+}
+
+// echoKeyForVote derives a dedup key for a vote echo.
+func echoKeyForVote(v *types.Vote) types.Hash {
+	var key types.Hash
+	copy(key[:], v.BlockID[:])
+	key[0] ^= byte(v.View)
+	key[1] ^= byte(v.View >> 8)
+	key[2] ^= byte(v.Voter)
+	key[3] ^= byte(v.Voter >> 8)
+	key[31] ^= 0xee // domain-separate from proposal echoes
+	return key
+}

@@ -1,0 +1,310 @@
+// Package core is the Bamboo consensus engine: the propose-vote
+// machinery every chained-BFT protocol shares. It wires the block
+// forest, mempool, quorum aggregation, pacemaker, leader election,
+// cryptography, and networking around a protocol's safety.Rules, so a
+// protocol implementation is reduced to its four rules (Figure 4 of
+// the paper).
+//
+// Each replica runs a single event-loop goroutine; every message and
+// timer event funnels into it, so the forest and rules never need
+// locks. Cross-thread reads (benchmarker, HTTP API) go through the
+// snapshot published on every commit.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/attack"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/election"
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/ledger"
+	"github.com/bamboo-bft/bamboo/internal/mempool"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/pacemaker"
+	"github.com/bamboo-bft/bamboo/internal/quorum"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Options configures a replica beyond the run Config.
+type Options struct {
+	// Execute, if non-nil, is called with each committed block's
+	// transactions, in commit order (the execution layer).
+	Execute func([]types.Transaction)
+	// CommitSeries, if non-nil, receives committed transaction
+	// counts over time (the responsiveness experiment's series).
+	CommitSeries *metrics.TimeSeries
+	// OnViolation, if non-nil, is called if the forest detects a
+	// commit conflicting with the committed chain. Tests use it to
+	// assert safety; production deployments would page someone.
+	OnViolation func(error)
+	// Elector overrides leader election (defaults to round-robin,
+	// or static when cfg.Master is set).
+	Elector election.Elector
+	// Ledger, if non-nil, receives every committed block — the
+	// persistent storage the paper's garbage-collection note assumes.
+	// Append errors are surfaced through OnViolation-style logging:
+	// the chain in memory remains authoritative.
+	Ledger *ledger.Ledger
+}
+
+// Status is the replica snapshot published after every commit.
+type Status struct {
+	CurView         types.View
+	CommittedHeight uint64
+	CommittedView   types.View
+	CommittedHash   types.Hash
+	Pool            int
+}
+
+// Node is one replica.
+type Node struct {
+	id     types.NodeID
+	cfg    config.Config
+	rules  safety.Rules
+	policy safety.Policy
+
+	forest *forest.Forest
+	pool   *mempool.Pool
+	votes  *quorum.Votes
+	pm     *pacemaker.Pacemaker
+	elect  election.Elector
+	net    network.Transport
+	scheme crypto.Scheme
+
+	// lightPool bypasses the mempool for the OHS client path.
+	lightPool []types.Transaction
+
+	// pendingQCs holds certificates for blocks not yet attached.
+	pendingQCs map[types.Hash]*types.QC
+	// echoSeen deduplicates echoed messages (Streamlet).
+	echoSeen map[types.Hash]struct{}
+	// owned maps transactions this replica accepted to the client
+	// endpoint awaiting the commit reply.
+	owned map[types.TxID]types.NodeID
+	// proposedInView guards against double-proposing in one view.
+	proposedInView types.View
+	// lastTimeoutView is the highest view this replica has signed a
+	// timeout for; the f+1 join rule signs each view at most once.
+	lastTimeoutView types.View
+
+	tracker *metrics.ChainTracker
+	opts    Options
+	// commitListeners run on the event loop for each committed
+	// block; registered before Start (HTTP API waiters).
+	commitListeners []func(types.View, types.Hash, []types.Transaction)
+	events          chan any
+	stopOnce        sync.Once
+	stopCh          chan struct{}
+	doneCh          chan struct{}
+
+	statusMu sync.Mutex
+	status   Status
+	// committedHashes[h-1] is the committed block hash at height h,
+	// readable from any goroutine (consistency checks).
+	committedHashes []types.Hash
+
+	violations metrics.Counter
+}
+
+// proposeEvent asks the loop to propose for a view (possibly delayed
+// by the non-responsive wait).
+type proposeEvent struct {
+	view types.View
+	tc   *types.TC
+}
+
+// NewNode assembles a replica. The rules factory receives the node's
+// forest-backed environment; Byzantine nodes (per cfg) get their rules
+// wrapped with the configured attack strategy.
+func NewNode(id types.NodeID, cfg config.Config, factory safety.Factory,
+	net network.Transport, scheme crypto.Scheme, opts Options) *Node {
+
+	f := forest.New(16)
+	env := safety.Env{Forest: f, Self: id, N: cfg.N}
+	rules := factory(env)
+	if cfg.IsByzantine(id) {
+		switch cfg.Strategy {
+		case config.StrategyForking:
+			rules = attack.NewForking(rules, f, id, attack.DepthFor(cfg.Protocol))
+		case config.StrategySilence:
+			s := attack.NewSilence(rules)
+			if cfg.StrategyDelay > 0 {
+				s.ActiveAfter = time.Now().Add(cfg.StrategyDelay)
+			}
+			rules = s
+		case config.StrategyEquivocate:
+			rules = attack.NewEquivocate(rules, id)
+		}
+	}
+	elect := opts.Elector
+	if elect == nil {
+		if cfg.Master != 0 {
+			elect = election.NewStatic(cfg.Master)
+		} else {
+			elect = election.NewRoundRobin(cfg.N)
+		}
+	}
+	n := &Node{
+		id:         id,
+		cfg:        cfg,
+		rules:      rules,
+		policy:     rules.Policy(),
+		forest:     f,
+		pool:       mempool.New(cfg.MemSize),
+		votes:      quorum.NewVotes(cfg.Quorum()),
+		pm:         pacemaker.New(cfg.Timeout, cfg.Quorum()),
+		elect:      elect,
+		net:        net,
+		scheme:     scheme,
+		pendingQCs: make(map[types.Hash]*types.QC),
+		echoSeen:   make(map[types.Hash]struct{}),
+		owned:      make(map[types.TxID]types.NodeID),
+		tracker:    &metrics.ChainTracker{},
+		opts:       opts,
+		events:     make(chan any, 64),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+	n.status = Status{CurView: 1}
+	return n
+}
+
+// ID returns the replica identity.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Tracker exposes the chain micro-metrics (CGR, BI).
+func (n *Node) Tracker() *metrics.ChainTracker { return n.tracker }
+
+// Violations returns how many commit-safety violations the forest
+// reported; correct runs keep this at zero.
+func (n *Node) Violations() uint64 { return n.violations.Load() }
+
+// Status returns the latest published snapshot.
+func (n *Node) Status() Status {
+	n.statusMu.Lock()
+	defer n.statusMu.Unlock()
+	s := n.status
+	s.Pool = n.pool.Len()
+	return s
+}
+
+// HashAt returns the committed main-chain block hash at a height,
+// safely from any goroutine.
+func (n *Node) HashAt(height uint64) (types.Hash, bool) {
+	n.statusMu.Lock()
+	defer n.statusMu.Unlock()
+	if height == 0 || height > uint64(len(n.committedHashes)) {
+		return types.ZeroHash, false
+	}
+	return n.committedHashes[height-1], true
+}
+
+// Submit queues a client transaction directly (in-process fast path
+// for benchmarks and examples). The reply is delivered to the client
+// endpoint named by the transaction's TxID.Client.
+func (n *Node) Submit(tx types.Transaction) {
+	select {
+	case n.events <- types.RequestMsg{Tx: tx}:
+	case <-n.stopCh:
+	}
+}
+
+// AddCommitListener registers fn to run for every committed block
+// (view, block hash, payload). Register before Start; listeners run
+// on the event loop, so they must not block.
+func (n *Node) AddCommitListener(fn func(types.View, types.Hash, []types.Transaction)) {
+	n.commitListeners = append(n.commitListeners, fn)
+}
+
+// Start launches the event loop. The first leader proposes once its
+// view timer is armed; all other replicas follow the QC chain.
+func (n *Node) Start() {
+	n.pm.Start()
+	go n.run()
+}
+
+// Stop terminates the event loop and waits for it to drain.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		<-n.doneCh
+		n.pm.Stop()
+	})
+}
+
+// run is the replica's single-threaded event loop.
+func (n *Node) run() {
+	defer close(n.doneCh)
+	n.tracker.OnViewEntered()
+	// Kick off the first view: its leader proposes the first block.
+	if n.elect.Leader(1) == n.id {
+		n.propose(1, nil)
+	}
+	inbox := n.net.Inbox()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			n.dispatch(env.From, env.Msg)
+		case ev := <-n.events:
+			n.dispatch(n.id, ev)
+		case view := <-n.pm.TimeoutChan():
+			n.onLocalTimeout(view)
+		}
+	}
+}
+
+// dispatch routes one event on the loop goroutine.
+func (n *Node) dispatch(from types.NodeID, msg any) {
+	switch m := msg.(type) {
+	case types.ProposalMsg:
+		n.onProposal(from, m)
+	case types.VoteMsg:
+		n.onVote(from, m.Vote)
+	case types.TimeoutMsg:
+		n.onTimeoutMsg(m.Timeout)
+	case types.TCMsg:
+		n.onTC(m.TC, true)
+	case types.RequestMsg:
+		n.onRequest(from, m.Tx)
+	case types.FetchMsg:
+		n.onFetch(from, m)
+	case types.QueryMsg:
+		n.onQuery(from, m)
+	case types.SlowMsg:
+		// Handled by the network layer in simulation; replicas
+		// receiving it over TCP ignore it (conditions are not
+		// modelled there).
+	case proposeEvent:
+		n.propose(m.view, m.tc)
+	}
+}
+
+// publishStatus refreshes the cross-thread snapshot.
+func (n *Node) publishStatus() {
+	head := n.forest.CommittedHead()
+	n.statusMu.Lock()
+	n.status.CurView = n.pm.CurView()
+	n.status.CommittedHeight = n.forest.CommittedHeight()
+	n.status.CommittedView = head.View
+	n.status.CommittedHash = head.ID()
+	n.statusMu.Unlock()
+}
+
+// warn surfaces a safety violation.
+func (n *Node) warn(err error) {
+	n.violations.Add(1)
+	if n.opts.OnViolation != nil {
+		n.opts.OnViolation(fmt.Errorf("replica %s: %w", n.id, err))
+	}
+}

@@ -1,0 +1,56 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// HMAC is a Scheme using HMAC-SHA256 with a single shared secret.
+// Every holder of the secret can produce a tag for any identity, so
+// this is NOT Byzantine-authentic; it exists so that single-process
+// benchmarks at n=32/64 measure protocol behaviour rather than the
+// host's ability to run thousands of Ed25519 verifications per second
+// on two cores. The tag is keyed by signer identity so accidental
+// cross-attribution still fails verification.
+type HMAC struct {
+	key [32]byte
+}
+
+// NewHMAC derives the shared secret from seed.
+func NewHMAC(seed int64) *HMAC {
+	var material [16]byte
+	binary.BigEndian.PutUint64(material[:8], uint64(seed))
+	copy(material[8:], "bamboohm")
+	h := &HMAC{}
+	h.key = sha256.Sum256(material[:])
+	return h
+}
+
+// Name implements Scheme.
+func (h *HMAC) Name() string { return "hmac" }
+
+func (h *HMAC) tag(signer types.NodeID, digest []byte) []byte {
+	mac := hmac.New(sha256.New, h.key[:])
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], uint32(signer))
+	mac.Write(idb[:])
+	mac.Write(digest)
+	return mac.Sum(nil)
+}
+
+// Sign implements Scheme.
+func (h *HMAC) Sign(signer types.NodeID, digest []byte) ([]byte, error) {
+	return h.tag(signer, digest), nil
+}
+
+// Verify implements Scheme.
+func (h *HMAC) Verify(signer types.NodeID, digest, sig []byte) error {
+	if !hmac.Equal(h.tag(signer, digest), sig) {
+		return fmt.Errorf("%w: %s", ErrBadSignature, signer)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package crypto
+
+import "github.com/bamboo-bft/bamboo/internal/types"
+
+// Noop is a Scheme that performs no cryptography. Signatures are a
+// fixed 4-byte tag and verification always succeeds. It isolates pure
+// protocol-logic cost in ablation benchmarks; never use it outside a
+// benchmark.
+type Noop struct{}
+
+var noopTag = []byte{0xba, 0x3b, 0x00, 0x00}
+
+// Name implements Scheme.
+func (Noop) Name() string { return "noop" }
+
+// Sign implements Scheme.
+func (Noop) Sign(types.NodeID, []byte) ([]byte, error) { return noopTag, nil }
+
+// Verify implements Scheme.
+func (Noop) Verify(types.NodeID, []byte, []byte) error { return nil }

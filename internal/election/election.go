@@ -1,0 +1,72 @@
+// Package election chooses the leader of each view. Three policies
+// are provided: round-robin rotation (the paper's default when
+// "master" is 0), a static leader pinned by the master parameter, and
+// hash-based pseudo-random election (the design-choice variation
+// discussed in Section V-E).
+package election
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Elector maps views to leaders. Implementations must be
+// deterministic: every replica must derive the same leader for a view.
+type Elector interface {
+	// Leader returns the designated leader of the view.
+	Leader(view types.View) types.NodeID
+}
+
+// RoundRobin rotates leadership across nodes 1..N: view v is led by
+// ((v-1) mod N) + 1, so every node leads exactly once every N views.
+type RoundRobin struct {
+	n uint64
+}
+
+// NewRoundRobin creates a rotation over n nodes.
+func NewRoundRobin(n int) RoundRobin { return RoundRobin{n: uint64(n)} }
+
+// Leader implements Elector.
+func (r RoundRobin) Leader(view types.View) types.NodeID {
+	if r.n == 0 {
+		return types.NoNode
+	}
+	return types.NodeID((uint64(view)-1)%r.n + 1)
+}
+
+// Static always elects the same node (Table I "master" non-zero).
+type Static struct {
+	master types.NodeID
+}
+
+// NewStatic pins leadership to master.
+func NewStatic(master types.NodeID) Static { return Static{master: master} }
+
+// Leader implements Elector.
+func (s Static) Leader(types.View) types.NodeID { return s.master }
+
+// Hashed elects pseudo-randomly by hashing (seed, view); with a
+// shared seed all replicas agree, and over many views each node leads
+// with probability 1/N — the "leader election based on hash
+// functions" alternative the paper's model can also analyze.
+type Hashed struct {
+	n    uint64
+	seed int64
+}
+
+// NewHashed creates a hash-based elector over n nodes.
+func NewHashed(n int, seed int64) Hashed { return Hashed{n: uint64(n), seed: seed} }
+
+// Leader implements Elector.
+func (h Hashed) Leader(view types.View) types.NodeID {
+	if h.n == 0 {
+		return types.NoNode
+	}
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(h.seed))
+	binary.BigEndian.PutUint64(buf[8:], uint64(view))
+	sum := sha256.Sum256(buf[:])
+	return types.NodeID(binary.BigEndian.Uint64(sum[:8])%h.n + 1)
+}

@@ -1,0 +1,97 @@
+package election
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func TestRoundRobinRotation(t *testing.T) {
+	e := NewRoundRobin(4)
+	want := []types.NodeID{1, 2, 3, 4, 1, 2, 3, 4}
+	for i, w := range want {
+		if got := e.Leader(types.View(i + 1)); got != w {
+			t.Fatalf("view %d leader = %s, want %s", i+1, got, w)
+		}
+	}
+}
+
+// TestRoundRobinFairness: each node leads exactly once per N views —
+// the fairness property frequent rotation is meant to provide.
+func TestRoundRobinFairness(t *testing.T) {
+	const n = 7
+	e := NewRoundRobin(n)
+	counts := make(map[types.NodeID]int)
+	for v := types.View(1); v <= 10*n; v++ {
+		counts[e.Leader(v)]++
+	}
+	for id := types.NodeID(1); id <= n; id++ {
+		if counts[id] != 10 {
+			t.Fatalf("node %s led %d times, want 10", id, counts[id])
+		}
+	}
+}
+
+func TestRoundRobinZeroNodes(t *testing.T) {
+	if got := NewRoundRobin(0).Leader(1); got != types.NoNode {
+		t.Fatalf("leader over zero nodes = %s", got)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	e := NewStatic(3)
+	for v := types.View(1); v <= 20; v++ {
+		if e.Leader(v) != 3 {
+			t.Fatal("static leader changed")
+		}
+	}
+}
+
+func TestHashedDeterministicAndInRange(t *testing.T) {
+	a, b := NewHashed(8, 42), NewHashed(8, 42)
+	for v := types.View(1); v <= 100; v++ {
+		la, lb := a.Leader(v), b.Leader(v)
+		if la != lb {
+			t.Fatal("hash election not deterministic across replicas")
+		}
+		if la < 1 || la > 8 {
+			t.Fatalf("leader %s out of range", la)
+		}
+	}
+}
+
+func TestHashedRoughlyUniform(t *testing.T) {
+	const n, views = 4, 4000
+	e := NewHashed(n, 7)
+	counts := make(map[types.NodeID]int)
+	for v := types.View(1); v <= views; v++ {
+		counts[e.Leader(v)]++
+	}
+	for id := types.NodeID(1); id <= n; id++ {
+		share := float64(counts[id]) / views
+		if share < 0.15 || share > 0.35 {
+			t.Fatalf("node %s share %.3f far from uniform 0.25", id, share)
+		}
+	}
+}
+
+func TestHashedZeroNodes(t *testing.T) {
+	if got := NewHashed(0, 1).Leader(1); got != types.NoNode {
+		t.Fatalf("leader over zero nodes = %s", got)
+	}
+}
+
+// Property: round-robin leaders are always in [1, n].
+func TestRoundRobinRangeQuick(t *testing.T) {
+	f := func(n uint8, view uint64) bool {
+		if n == 0 {
+			return true
+		}
+		id := NewRoundRobin(int(n)).Leader(types.View(view) + 1)
+		return id >= 1 && id <= types.NodeID(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

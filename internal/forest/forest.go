@@ -1,0 +1,446 @@
+// Package forest implements the Block Forest of Section III-A: a
+// height-indexed collection of block trees that tracks the committed
+// main chain, certification (notarization) marks, prunes dead forks,
+// and buffers orphan blocks until their parents arrive.
+//
+// Every vertex has a height one greater than its parent's. Committing
+// a block commits its whole uncommitted ancestor chain; blocks at
+// heights at or below the committed tip that are not on the main chain
+// are dead — their transactions are handed back to the caller for
+// re-insertion at the front of the mempool, matching the paper's
+// forked-block recycling behaviour.
+//
+// The forest is not safe for concurrent use: each replica's event loop
+// is its sole writer and reader.
+package forest
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Errors reported by the forest.
+var (
+	ErrDuplicate       = errors.New("forest: block already present")
+	ErrStale           = errors.New("forest: block extends a dead or pruned branch")
+	ErrSafetyViolation = errors.New("forest: commit target conflicts with committed chain")
+	ErrUnknownBlock    = errors.New("forest: unknown block")
+)
+
+// maxPendingPerParent bounds the orphan buffer so a malicious peer
+// cannot exhaust memory with unconnectable blocks.
+const maxPendingPerParent = 8
+
+// deadSetLimit bounds the fork-tombstone set.
+const deadSetLimit = 4096
+
+type vertex struct {
+	block    *types.Block
+	parent   *vertex
+	children []*vertex
+	height   uint64
+	// qc is the certificate that notarized this block, nil until
+	// certification.
+	qc        *types.QC
+	committed bool
+	// notarizedLen is the length of the fully-notarized chain
+	// ending at this vertex (Streamlet's longest-chain rule);
+	// zero until the vertex and its whole ancestry are certified.
+	notarizedLen uint64
+}
+
+// CommitResult reports the outcome of a Commit call.
+type CommitResult struct {
+	// Committed lists the newly committed blocks, oldest first.
+	Committed []*types.Block
+	// Forked lists dead blocks removed by this commit; their
+	// transactions should return to the front of the mempool.
+	Forked []*types.Block
+}
+
+// Forest is the block store of one replica.
+type Forest struct {
+	vertices map[types.Hash]*vertex
+	byHeight map[uint64][]*vertex
+	// pending buffers orphans keyed by the missing parent hash.
+	pending map[types.Hash][]*types.Block
+	// committed holds the main-chain block hash at each height;
+	// index equals height. It only ever grows.
+	committed []types.Hash
+	// committedIdx maps a committed hash to its height for O(1)
+	// staleness checks.
+	committedIdx map[types.Hash]uint64
+	// dead tombstones hashes of removed forked blocks so late
+	// children can be rejected instead of buffered forever. Bounded;
+	// cleared wholesale when it grows past deadSetLimit.
+	dead map[types.Hash]struct{}
+	head *vertex
+	// keepWindow is how many committed heights of full vertices to
+	// retain below the head for parent lookups and catch-up serving.
+	keepWindow uint64
+	// notarizedTip is the tip of the longest fully-notarized chain.
+	notarizedTip *vertex
+}
+
+// New creates a forest containing only the genesis block, which is
+// committed and certified by construction. keepWindow controls how
+// many committed heights below the tip retain full blocks (minimum 8).
+func New(keepWindow int) *Forest {
+	if keepWindow < 8 {
+		keepWindow = 8
+	}
+	g := types.Genesis()
+	gv := &vertex{block: g, height: 0, qc: types.GenesisQC(), committed: true, notarizedLen: 1}
+	f := &Forest{
+		vertices:     map[types.Hash]*vertex{g.ID(): gv},
+		byHeight:     map[uint64][]*vertex{0: {gv}},
+		pending:      make(map[types.Hash][]*types.Block),
+		committed:    []types.Hash{g.ID()},
+		committedIdx: map[types.Hash]uint64{g.ID(): 0},
+		dead:         make(map[types.Hash]struct{}),
+		head:         gv,
+		keepWindow:   uint64(keepWindow),
+		notarizedTip: gv,
+	}
+	return f
+}
+
+// Add inserts a block. If the parent is unknown the block is buffered
+// and attached later; attached reports every block that actually
+// joined the forest during this call (the argument first, then any
+// orphans it unblocked, in attachment order). Duplicate blocks return
+// ErrDuplicate; blocks extending dead or pruned branches return
+// ErrStale.
+func (f *Forest) Add(b *types.Block) (attached []*types.Block, err error) {
+	id := b.ID()
+	if _, ok := f.vertices[id]; ok {
+		return nil, ErrDuplicate
+	}
+	parent, ok := f.vertices[b.Parent]
+	if !ok {
+		if f.isDeadParent(b.Parent) {
+			return nil, ErrStale
+		}
+		if len(f.pending[b.Parent]) < maxPendingPerParent {
+			f.pending[b.Parent] = append(f.pending[b.Parent], b)
+		}
+		return nil, nil
+	}
+	if parent.height+1 <= f.head.height {
+		// The new block's height falls inside the committed chain,
+		// so it conflicts with an already-committed block.
+		return nil, ErrStale
+	}
+	attached = append(attached, b)
+	f.attach(b, parent)
+	attached = append(attached, f.drainPending(id)...)
+	return attached, nil
+}
+
+// attach links b under parent, which must exist.
+func (f *Forest) attach(b *types.Block, parent *vertex) {
+	v := &vertex{block: b, parent: parent, height: parent.height + 1}
+	parent.children = append(parent.children, v)
+	f.vertices[b.ID()] = v
+	f.byHeight[v.height] = append(f.byHeight[v.height], v)
+}
+
+// drainPending attaches any orphans waiting on parentID, recursively.
+func (f *Forest) drainPending(parentID types.Hash) []*types.Block {
+	waiting, ok := f.pending[parentID]
+	if !ok {
+		return nil
+	}
+	delete(f.pending, parentID)
+	var out []*types.Block
+	parent := f.vertices[parentID]
+	for _, b := range waiting {
+		if _, dup := f.vertices[b.ID()]; dup {
+			continue
+		}
+		if parent.height+1 <= f.head.height {
+			continue // stale by now
+		}
+		f.attach(b, parent)
+		out = append(out, b)
+		out = append(out, f.drainPending(b.ID())...)
+	}
+	return out
+}
+
+// isDeadParent reports whether hash names a block that can no longer
+// be extended: it was committed and compacted below the retention
+// window, or removed as a dead fork. Unknown hashes that were never
+// seen return false (the block may simply not have arrived yet).
+func (f *Forest) isDeadParent(h types.Hash) bool {
+	if _, ok := f.dead[h]; ok {
+		return true
+	}
+	// A committed hash that is no longer a live vertex was compacted
+	// away; extending it would fork below the committed head.
+	_, committed := f.committedIdx[h]
+	return committed
+}
+
+// Contains reports whether the block is attached to the forest.
+func (f *Forest) Contains(h types.Hash) bool {
+	_, ok := f.vertices[h]
+	return ok
+}
+
+// Block returns the attached block with the given hash.
+func (f *Forest) Block(h types.Hash) (*types.Block, bool) {
+	v, ok := f.vertices[h]
+	if !ok {
+		return nil, false
+	}
+	return v.block, true
+}
+
+// Parent returns the parent block of the block with the given hash.
+func (f *Forest) Parent(h types.Hash) (*types.Block, bool) {
+	v, ok := f.vertices[h]
+	if !ok || v.parent == nil {
+		return nil, false
+	}
+	return v.parent.block, true
+}
+
+// HeightOf returns the chain height of an attached block.
+func (f *Forest) HeightOf(h types.Hash) (uint64, bool) {
+	v, ok := f.vertices[h]
+	if !ok {
+		return 0, false
+	}
+	return v.height, true
+}
+
+// Certify records the quorum certificate notarizing qc.BlockID and
+// updates the longest-notarized-chain bookkeeping. It returns false if
+// the block is not attached. A later QC for an already-certified block
+// is ignored (the first certificate wins).
+func (f *Forest) Certify(qc *types.QC) bool {
+	v, ok := f.vertices[qc.BlockID]
+	if !ok {
+		return false
+	}
+	if v.qc != nil {
+		return true
+	}
+	v.qc = qc
+	f.propagateNotarized(v)
+	return true
+}
+
+// QCOf returns the certificate that notarized the block, if any.
+func (f *Forest) QCOf(h types.Hash) (*types.QC, bool) {
+	v, ok := f.vertices[h]
+	if !ok || v.qc == nil {
+		return nil, false
+	}
+	return v.qc, true
+}
+
+// propagateNotarized recomputes notarized-chain lengths for v and any
+// certified descendants whose chains just became complete.
+func (f *Forest) propagateNotarized(v *vertex) {
+	if v.qc == nil || v.notarizedLen != 0 {
+		return
+	}
+	if v.parent == nil || v.parent.notarizedLen == 0 {
+		return // ancestry not fully notarized yet
+	}
+	v.notarizedLen = v.parent.notarizedLen + 1
+	f.maybeAdvanceNotarizedTip(v)
+	for _, c := range v.children {
+		f.propagateNotarized(c)
+	}
+}
+
+func (f *Forest) maybeAdvanceNotarizedTip(v *vertex) {
+	t := f.notarizedTip
+	if v.notarizedLen > t.notarizedLen ||
+		(v.notarizedLen == t.notarizedLen && v.block.View > t.block.View) {
+		f.notarizedTip = v
+	}
+}
+
+// IsCertified reports whether the attached block has been certified.
+func (f *Forest) IsCertified(h types.Hash) bool {
+	v, ok := f.vertices[h]
+	return ok && v.qc != nil
+}
+
+// LongestNotarizedTip returns the tip of the longest fully-notarized
+// chain (ties broken toward the higher view). It is the fork-choice of
+// Streamlet's proposing and voting rules. With no notarized blocks it
+// returns the genesis block.
+func (f *Forest) LongestNotarizedTip() *types.Block {
+	return f.notarizedTip.block
+}
+
+// ExtendsNotarized reports whether b's parent is the tip of some
+// longest notarized chain — Streamlet's voting-rule check. Because
+// lengths are unique per branch it suffices to compare the parent's
+// notarized length with the maximum.
+func (f *Forest) ExtendsNotarized(b *types.Block) bool {
+	p, ok := f.vertices[b.Parent]
+	if !ok {
+		return false
+	}
+	return p.notarizedLen == f.notarizedTip.notarizedLen && p.notarizedLen > 0
+}
+
+// CommittedHeight returns the height of the committed tip.
+func (f *Forest) CommittedHeight() uint64 { return f.head.height }
+
+// CommittedHead returns the committed tip block.
+func (f *Forest) CommittedHead() *types.Block { return f.head.block }
+
+// CommittedHash returns the main-chain block hash at a height, for
+// cross-replica consistency checks.
+func (f *Forest) CommittedHash(height uint64) (types.Hash, bool) {
+	if height >= uint64(len(f.committed)) {
+		return types.ZeroHash, false
+	}
+	return f.committed[height], true
+}
+
+// Size returns the number of attached vertices (leak detection).
+func (f *Forest) Size() int { return len(f.vertices) }
+
+// PendingCount returns the number of buffered orphan blocks.
+func (f *Forest) PendingCount() int {
+	n := 0
+	for _, w := range f.pending {
+		n += len(w)
+	}
+	return n
+}
+
+// Commit finalizes the block with the given hash and its uncommitted
+// ancestors. It returns the newly committed chain (oldest first) and
+// the dead forked blocks removed as a result. Committing a block that
+// conflicts with the already committed chain returns
+// ErrSafetyViolation — in a correct protocol this never happens, and
+// the test suite asserts it never does.
+func (f *Forest) Commit(target types.Hash) (CommitResult, error) {
+	var res CommitResult
+	tv, ok := f.vertices[target]
+	if !ok {
+		return res, fmt.Errorf("%w: %s", ErrUnknownBlock, target)
+	}
+	if tv.committed {
+		return res, nil // idempotent: already on the main chain
+	}
+	if tv.height <= f.head.height {
+		return res, fmt.Errorf("%w: target %s at height %d, head at %d",
+			ErrSafetyViolation, target, tv.height, f.head.height)
+	}
+	// Walk target → head collecting the new chain.
+	chain := make([]*vertex, 0, tv.height-f.head.height)
+	v := tv
+	for v != f.head {
+		if v == nil || v.height <= f.head.height {
+			return res, fmt.Errorf("%w: %s does not extend committed head", ErrSafetyViolation, target)
+		}
+		chain = append(chain, v)
+		v = v.parent
+	}
+	// Reverse to oldest-first and mark committed.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	oldHead := f.head.height
+	for _, cv := range chain {
+		cv.committed = true
+		f.committedIdx[cv.block.ID()] = uint64(len(f.committed))
+		f.committed = append(f.committed, cv.block.ID())
+		res.Committed = append(res.Committed, cv.block)
+	}
+	f.head = tv
+	// Remove dead forks: every vertex at heights (oldHead, head]
+	// that is not on the new main chain, together with its subtree.
+	for h := oldHead + 1; h <= f.head.height; h++ {
+		for _, fv := range f.byHeight[h] {
+			if !fv.committed && f.vertices[fv.block.ID()] == fv {
+				f.removeSubtree(fv, &res.Forked)
+			}
+		}
+		// Rebuild the height bucket with only the survivor.
+		survivors := f.byHeight[h][:0]
+		for _, fv := range f.byHeight[h] {
+			if f.vertices[fv.block.ID()] == fv {
+				survivors = append(survivors, fv)
+			}
+		}
+		f.byHeight[h] = survivors
+	}
+	f.dropStalePending()
+	f.compact()
+	return res, nil
+}
+
+// removeSubtree deletes v and its descendants, appending their blocks
+// to forked.
+func (f *Forest) removeSubtree(v *vertex, forked *[]*types.Block) {
+	*forked = append(*forked, v.block)
+	delete(f.vertices, v.block.ID())
+	if len(f.dead) >= deadSetLimit {
+		f.dead = make(map[types.Hash]struct{})
+	}
+	f.dead[v.block.ID()] = struct{}{}
+	if f.notarizedTip == v {
+		f.notarizedTip = f.head // conservative reset; head is notarized
+	}
+	for _, c := range v.children {
+		f.removeSubtree(c, forked)
+	}
+	v.children = nil
+	v.parent = nil
+}
+
+// dropStalePending discards buffered orphans that can no longer attach
+// above the committed head. Orphans carry no height, so retain only
+// ones whose parent is still plausible: parent unknown or parent at or
+// above the head.
+func (f *Forest) dropStalePending() {
+	for parentID := range f.pending {
+		if pv, ok := f.vertices[parentID]; ok && pv.height < f.head.height {
+			delete(f.pending, parentID)
+			continue
+		}
+		if f.isDeadParent(parentID) {
+			delete(f.pending, parentID)
+		}
+	}
+}
+
+// compact releases committed vertices deeper than keepWindow below the
+// head. Their hashes remain in the committed index for consistency
+// checks; the full blocks are eligible for garbage collection,
+// mirroring the paper's "finalized blocks can be removed from memory".
+func (f *Forest) compact() {
+	if f.head.height <= f.keepWindow {
+		return
+	}
+	cutoff := f.head.height - f.keepWindow
+	for h, bucket := range f.byHeight {
+		if h >= cutoff {
+			continue
+		}
+		for _, v := range bucket {
+			delete(f.vertices, v.block.ID())
+			v.children = nil
+			v.parent = nil
+		}
+		delete(f.byHeight, h)
+	}
+	// Detach the parent pointer at the cutoff boundary so the
+	// compacted chain below becomes unreachable.
+	if bv, ok := f.vertices[f.committed[cutoff]]; ok {
+		bv.parent = nil
+	}
+}

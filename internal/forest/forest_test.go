@@ -1,0 +1,423 @@
+package forest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// mkBlock builds a block on top of parent with the given view. The
+// payload carries one transaction so fork recycling is observable.
+func mkBlock(parent *types.Block, view types.View) *types.Block {
+	b := &types.Block{
+		View:     view,
+		Proposer: types.NodeID(uint32(view%4) + 1),
+		Parent:   parent.ID(),
+		QC:       &types.QC{View: parent.View, BlockID: parent.ID()},
+		Payload: []types.Transaction{
+			{ID: types.TxID{Client: 1, Seq: uint64(view)}},
+		},
+	}
+	b.ID()
+	return b
+}
+
+// qcFor fabricates a certificate for a block.
+func qcFor(b *types.Block) *types.QC {
+	return &types.QC{View: b.View, BlockID: b.ID()}
+}
+
+// chain builds and adds a linear chain of n blocks on top of base.
+func chain(t *testing.T, f *Forest, base *types.Block, startView types.View, n int) []*types.Block {
+	t.Helper()
+	out := make([]*types.Block, 0, n)
+	parent := base
+	for i := 0; i < n; i++ {
+		b := mkBlock(parent, startView+types.View(i))
+		if _, err := f.Add(b); err != nil {
+			t.Fatalf("add block view %d: %v", b.View, err)
+		}
+		out = append(out, b)
+		parent = b
+	}
+	return out
+}
+
+func TestNewForestGenesis(t *testing.T) {
+	f := New(8)
+	g := types.Genesis()
+	if !f.Contains(g.ID()) {
+		t.Fatal("genesis missing")
+	}
+	if f.CommittedHeight() != 0 {
+		t.Fatal("genesis height must be 0")
+	}
+	if f.CommittedHead().ID() != g.ID() {
+		t.Fatal("head must be genesis")
+	}
+	if !f.IsCertified(g.ID()) {
+		t.Fatal("genesis must be certified")
+	}
+	if h, ok := f.CommittedHash(0); !ok || h != g.ID() {
+		t.Fatal("committed hash at 0 must be genesis")
+	}
+	if f.Size() != 1 {
+		t.Fatalf("size = %d, want 1", f.Size())
+	}
+}
+
+func TestAddChainHeights(t *testing.T) {
+	f := New(8)
+	blocks := chain(t, f, types.Genesis(), 1, 5)
+	for i, b := range blocks {
+		h, ok := f.HeightOf(b.ID())
+		if !ok || h != uint64(i+1) {
+			t.Fatalf("block %d height = %d ok=%v, want %d", i, h, ok, i+1)
+		}
+	}
+	// Parent lookups walk the chain.
+	p, ok := f.Parent(blocks[2].ID())
+	if !ok || p.ID() != blocks[1].ID() {
+		t.Fatal("parent lookup broken")
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	f := New(8)
+	b := mkBlock(types.Genesis(), 1)
+	if _, err := f.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add(b); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+}
+
+func TestOrphanBuffering(t *testing.T) {
+	f := New(8)
+	b1 := mkBlock(types.Genesis(), 1)
+	b2 := mkBlock(b1, 2)
+	b3 := mkBlock(b2, 3)
+	// Arrive out of order: b3, b2 first (orphans), then b1.
+	if att, err := f.Add(b3); err != nil || len(att) != 0 {
+		t.Fatalf("orphan add: att=%d err=%v", len(att), err)
+	}
+	if att, err := f.Add(b2); err != nil || len(att) != 0 {
+		t.Fatalf("orphan add: att=%d err=%v", len(att), err)
+	}
+	if f.PendingCount() != 2 {
+		t.Fatalf("pending = %d, want 2", f.PendingCount())
+	}
+	att, err := f.Add(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(att) != 3 {
+		t.Fatalf("attached %d blocks, want 3 (b1 + both orphans)", len(att))
+	}
+	if att[0].ID() != b1.ID() {
+		t.Fatal("argument block must attach first")
+	}
+	if f.PendingCount() != 0 {
+		t.Fatal("pending not drained")
+	}
+	if h, _ := f.HeightOf(b3.ID()); h != 3 {
+		t.Fatalf("b3 height = %d, want 3", h)
+	}
+}
+
+func TestCommitChain(t *testing.T) {
+	f := New(8)
+	blocks := chain(t, f, types.Genesis(), 1, 5)
+	res, err := f.Commit(blocks[2].ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Committed) != 3 {
+		t.Fatalf("committed %d, want 3", len(res.Committed))
+	}
+	for i, b := range res.Committed {
+		if b.ID() != blocks[i].ID() {
+			t.Fatalf("commit order wrong at %d", i)
+		}
+	}
+	if len(res.Forked) != 0 {
+		t.Fatalf("unexpected forked blocks: %d", len(res.Forked))
+	}
+	if f.CommittedHeight() != 3 {
+		t.Fatalf("head = %d, want 3", f.CommittedHeight())
+	}
+	// Idempotent re-commit.
+	res2, err := f.Commit(blocks[2].ID())
+	if err != nil || len(res2.Committed) != 0 {
+		t.Fatalf("re-commit not idempotent: %v %d", err, len(res2.Committed))
+	}
+	// Later commit only adds the new suffix.
+	res3, err := f.Commit(blocks[4].ID())
+	if err != nil || len(res3.Committed) != 2 {
+		t.Fatalf("suffix commit: %v %d", err, len(res3.Committed))
+	}
+}
+
+func TestCommitConflictIsSafetyViolation(t *testing.T) {
+	f := New(8)
+	main := chain(t, f, types.Genesis(), 1, 3)
+	// A fork from genesis reaching beyond the committed height.
+	forkA := mkBlock(types.Genesis(), 10)
+	forkB := mkBlock(forkA, 11)
+	forkC := mkBlock(forkB, 12)
+	forkD := mkBlock(forkC, 13)
+	for _, b := range []*types.Block{forkA, forkB, forkC, forkD} {
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Commit the fork to height 4; the conflicting main branch is
+	// removed in the same step, so attempting to commit it afterwards
+	// reports it unknown. (ErrSafetyViolation itself is a defensive
+	// guard that a correct forest never lets callers reach, because
+	// conflicting subtrees are deleted the moment a branch commits.)
+	res, err := f.Commit(forkD.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forked) != len(main) {
+		t.Fatalf("forked %d blocks, want %d (whole main branch)", len(res.Forked), len(main))
+	}
+	if _, err := f.Commit(main[2].ID()); !errors.Is(err, ErrUnknownBlock) {
+		t.Fatalf("want ErrUnknownBlock for removed branch, got %v", err)
+	}
+}
+
+func TestCommitUnknownBlock(t *testing.T) {
+	f := New(8)
+	if _, err := f.Commit(types.Hash{9, 9}); !errors.Is(err, ErrUnknownBlock) {
+		t.Fatalf("want ErrUnknownBlock, got %v", err)
+	}
+}
+
+func TestForkRemovalAndRecycling(t *testing.T) {
+	f := New(8)
+	main := chain(t, f, types.Genesis(), 1, 4)
+	// Fork branching off main[0] (height 1): two blocks at heights 2-3.
+	forkA := mkBlock(main[0], 20)
+	forkB := mkBlock(forkA, 21)
+	for _, b := range []*types.Block{forkA, forkB} {
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := f.Commit(main[3].ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forked) != 2 {
+		t.Fatalf("forked %d blocks, want 2", len(res.Forked))
+	}
+	if f.Contains(forkA.ID()) || f.Contains(forkB.ID()) {
+		t.Fatal("forked blocks still attached")
+	}
+	// A late child of the dead fork is stale on arrival.
+	late := mkBlock(forkB, 22)
+	if _, err := f.Add(late); !errors.Is(err, ErrStale) {
+		t.Fatalf("want ErrStale for dead-branch child, got %v", err)
+	}
+}
+
+func TestStaleBelowCommittedHead(t *testing.T) {
+	f := New(8)
+	main := chain(t, f, types.Genesis(), 1, 3)
+	if _, err := f.Commit(main[2].ID()); err != nil {
+		t.Fatal(err)
+	}
+	// New block claiming genesis as parent would land at height 1 ≤ head 3.
+	b := mkBlock(types.Genesis(), 30)
+	if _, err := f.Add(b); !errors.Is(err, ErrStale) {
+		t.Fatalf("want ErrStale, got %v", err)
+	}
+}
+
+func TestCertificationAndNotarizedChain(t *testing.T) {
+	f := New(8)
+	blocks := chain(t, f, types.Genesis(), 1, 4)
+	if f.LongestNotarizedTip().ID() != types.Genesis().ID() {
+		t.Fatal("initial notarized tip must be genesis")
+	}
+	// Certify out of order: child first, then parent; the tip only
+	// advances when the full ancestry is certified.
+	if !f.Certify(qcFor(blocks[1])) {
+		t.Fatal("mark failed")
+	}
+	if f.LongestNotarizedTip().ID() != types.Genesis().ID() {
+		t.Fatal("tip advanced with uncertified ancestor")
+	}
+	f.Certify(qcFor(blocks[0]))
+	if f.LongestNotarizedTip().ID() != blocks[1].ID() {
+		t.Fatalf("tip = %s, want %s", f.LongestNotarizedTip().ID(), blocks[1].ID())
+	}
+	f.Certify(qcFor(blocks[2]))
+	if f.LongestNotarizedTip().ID() != blocks[2].ID() {
+		t.Fatal("tip must follow contiguous certification")
+	}
+	// ExtendsNotarized: blocks[3] extends the tip blocks[2].
+	if !f.ExtendsNotarized(blocks[3]) {
+		t.Fatal("blocks[3] extends the notarized tip")
+	}
+	short := mkBlock(blocks[0], 50) // extends a shorter notarized chain
+	if _, err := f.Add(short); err != nil {
+		t.Fatal(err)
+	}
+	if f.ExtendsNotarized(short) {
+		t.Fatal("short branch must not count as extending the longest chain")
+	}
+	if f.Certify(&types.QC{BlockID: types.Hash{1, 2, 3}}) {
+		t.Fatal("marking unknown block must fail")
+	}
+}
+
+func TestNotarizedTieBreakByView(t *testing.T) {
+	f := New(8)
+	a := mkBlock(types.Genesis(), 1)
+	b := mkBlock(types.Genesis(), 2)
+	for _, blk := range []*types.Block{a, b} {
+		if _, err := f.Add(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Certify(qcFor(a))
+	f.Certify(qcFor(b))
+	if f.LongestNotarizedTip().ID() != b.ID() {
+		t.Fatal("tie must break toward higher view")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	f := New(8)
+	parent := types.Genesis()
+	for v := types.View(1); v <= 100; v++ {
+		b := mkBlock(parent, v)
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Commit(b.ID()); err != nil {
+			t.Fatal(err)
+		}
+		parent = b
+	}
+	if f.Size() > 16 {
+		t.Fatalf("size = %d after 100 commits; compaction not working", f.Size())
+	}
+	// Consistency index must survive compaction.
+	if _, ok := f.CommittedHash(1); !ok {
+		t.Fatal("committed hash lost by compaction")
+	}
+	if f.CommittedHeight() != 100 {
+		t.Fatalf("height = %d, want 100", f.CommittedHeight())
+	}
+	// Extending a compacted ancestor is stale.
+	old, _ := f.CommittedHash(1)
+	late := &types.Block{View: 200, Parent: old}
+	if _, err := f.Add(late); !errors.Is(err, ErrStale) {
+		t.Fatalf("want ErrStale for compacted parent, got %v", err)
+	}
+}
+
+func TestPendingCap(t *testing.T) {
+	f := New(8)
+	missing := types.Hash{7, 7, 7}
+	for i := 0; i < 2*maxPendingPerParent; i++ {
+		b := &types.Block{View: types.View(i + 1), Parent: missing}
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.PendingCount() > maxPendingPerParent {
+		t.Fatalf("pending %d exceeds cap %d", f.PendingCount(), maxPendingPerParent)
+	}
+}
+
+// TestArrivalOrderIndependenceQuick: any arrival permutation of a
+// valid chain yields the same attached forest (orphan buffering makes
+// insertion order irrelevant).
+func TestArrivalOrderIndependenceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := New(8)
+	blocks := chain(t, base, types.Genesis(), 1, 6)
+	for trial := 0; trial < 30; trial++ {
+		f := New(8)
+		perm := rng.Perm(len(blocks))
+		for _, idx := range perm {
+			if _, err := f.Add(blocks[idx]); err != nil {
+				t.Fatalf("perm %v add %d: %v", perm, idx, err)
+			}
+		}
+		if f.Size() != base.Size() {
+			t.Fatalf("perm %v: size %d, want %d", perm, f.Size(), base.Size())
+		}
+		for i, b := range blocks {
+			h, ok := f.HeightOf(b.ID())
+			if !ok || h != uint64(i+1) {
+				t.Fatalf("perm %v: block %d at height %d ok=%v", perm, i, h, ok)
+			}
+		}
+		if f.PendingCount() != 0 {
+			t.Fatalf("perm %v: %d orphans left", perm, f.PendingCount())
+		}
+	}
+}
+
+// TestRandomTreeCommitInvariants drives the forest with random trees
+// and validates the committed-chain invariants after each commit.
+func TestRandomTreeCommitInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		f := New(8)
+		live := []*types.Block{types.Genesis()}
+		view := types.View(1)
+		for i := 0; i < 40; i++ {
+			parent := live[rng.Intn(len(live))]
+			b := mkBlock(parent, view)
+			view++
+			if _, err := f.Add(b); err != nil {
+				continue // stale parent after a commit; fine
+			}
+			live = append(live, b)
+			if rng.Intn(8) == 0 {
+				h, ok := f.HeightOf(b.ID())
+				if !ok {
+					t.Fatal("just-added block unknown")
+				}
+				if h <= f.CommittedHeight() {
+					continue
+				}
+				res, err := f.Commit(b.ID())
+				if err != nil {
+					t.Fatalf("commit of descendant failed: %v", err)
+				}
+				// Committed chain heights must be contiguous.
+				for j := 1; j < len(res.Committed); j++ {
+					hj, _ := f.HeightOf(res.Committed[j].ID())
+					hp, _ := f.HeightOf(res.Committed[j-1].ID())
+					if hj != hp+1 {
+						t.Fatal("committed chain not contiguous")
+					}
+				}
+				// No forked block may appear in the committed index.
+				for _, fb := range res.Forked {
+					if hgt, ok := f.HeightOf(fb.ID()); ok {
+						t.Fatalf("forked block still attached at height %d", hgt)
+					}
+				}
+			}
+		}
+		// Final audit: walking the committed index yields a chain of
+		// existing-or-compacted hashes with no gaps.
+		for h := uint64(0); h <= f.CommittedHeight(); h++ {
+			if _, ok := f.CommittedHash(h); !ok {
+				t.Fatalf("committed hash missing at height %d", h)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package httpapi exposes a replica over the RESTful interface the
+// paper's client library uses (Section III-D), so external benchmark
+// drivers (YCSB-style) can submit transactions over HTTP and replicas
+// can be inspected and perturbed at run time.
+//
+// Endpoints:
+//
+//	POST /tx      submit a transaction; the response returns when the
+//	              transaction commits (or the request times out).
+//	GET  /status  replica snapshot: current view, committed height.
+//	GET  /hash    committed block hash at ?height=N (consistency check).
+//	GET  /metrics chain micro-metrics (CGR, BI, committed counts).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/core"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Server is the HTTP front end of one replica.
+type Server struct {
+	node    *core.Node
+	timeout time.Duration
+
+	mu      sync.Mutex
+	nextSeq uint64
+	client  uint64
+	waiters map[types.TxID]chan commitInfo
+}
+
+type commitInfo struct {
+	view    types.View
+	blockID types.Hash
+}
+
+// New creates a server for the node. clientID namespaces the
+// transaction IDs this server mints (use the replica's ID); timeout
+// bounds how long POST /tx waits for the commit.
+func New(node *core.Node, clientID uint64, timeout time.Duration) *Server {
+	s := &Server{
+		node:    node,
+		timeout: timeout,
+		client:  clientID,
+		waiters: make(map[types.TxID]chan commitInfo),
+	}
+	node.AddCommitListener(s.onCommit)
+	return s
+}
+
+// onCommit resolves waiting POST /tx requests.
+func (s *Server) onCommit(view types.View, blockID types.Hash, txs []types.Transaction) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range txs {
+		if ch, ok := s.waiters[txs[i].ID]; ok {
+			delete(s.waiters, txs[i].ID)
+			ch <- commitInfo{view: view, blockID: blockID}
+		}
+	}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tx", s.handleTx)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /hash", s.handleHash)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// txRequest is the POST /tx body.
+type txRequest struct {
+	// Command is the transaction payload (the kvstore command or
+	// arbitrary bytes for benchmarking).
+	Command []byte `json:"command"`
+}
+
+// txResponse is the POST /tx reply.
+type txResponse struct {
+	Committed bool       `json:"committed"`
+	View      types.View `json:"view,omitempty"`
+	Block     string     `json:"block,omitempty"`
+	LatencyMS float64    `json:"latencyMs"`
+}
+
+func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
+	var req txRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.nextSeq++
+	id := types.TxID{Client: s.client, Seq: s.nextSeq}
+	ch := make(chan commitInfo, 1)
+	s.waiters[id] = ch
+	s.mu.Unlock()
+
+	start := time.Now()
+	s.node.Submit(types.Transaction{
+		ID:             id,
+		Command:        req.Command,
+		SubmitUnixNano: start.UnixNano(),
+	})
+
+	timer := time.NewTimer(s.timeout)
+	defer timer.Stop()
+	var resp txResponse
+	select {
+	case info := <-ch:
+		resp = txResponse{
+			Committed: true,
+			View:      info.view,
+			Block:     info.blockID.String(),
+			LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+	case <-timer.C:
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+		resp = txResponse{Committed: false, LatencyMS: float64(time.Since(start)) / float64(time.Millisecond)}
+		w.WriteHeader(http.StatusGatewayTimeout)
+	case <-r.Context().Done():
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.node.Status())
+}
+
+func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {
+	height, err := strconv.ParseUint(r.URL.Query().Get("height"), 10, 64)
+	if err != nil {
+		http.Error(w, "height parameter required", http.StatusBadRequest)
+		return
+	}
+	hash, ok := s.node.HashAt(height)
+	if !ok {
+		http.Error(w, "height not committed", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]string{"hash": fmt.Sprintf("%x", hash[:])})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.node.Tracker().Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing further to do.
+		_ = err
+	}
+}

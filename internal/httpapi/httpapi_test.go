@@ -1,0 +1,190 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/cluster"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/kvstore"
+)
+
+// startAPICluster runs a 4-node in-process cluster and exposes the
+// observer replica over httptest.
+func startAPICluster(t *testing.T) (*cluster.Cluster, *httptest.Server) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Protocol = config.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 20
+	cfg.MemSize = 10000
+	cfg.Timeout = 150 * time.Millisecond
+	c, err := cluster.New(cfg, cluster.Options{WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := c.Node(c.Observer())
+	api := New(node, 9001, 5*time.Second)
+	srv := httptest.NewServer(api.Handler())
+	c.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		c.Stop()
+	})
+	return c, srv
+}
+
+func TestSubmitTxCommits(t *testing.T) {
+	_, srv := startAPICluster(t)
+	body, err := json.Marshal(txRequest{Command: kvstore.EncodeSet("k", []byte("v"), 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out txResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed {
+		t.Fatalf("transaction not committed: %+v", out)
+	}
+	if out.LatencyMS <= 0 || out.View == 0 || out.Block == "" {
+		t.Fatalf("incomplete commit info: %+v", out)
+	}
+}
+
+func TestSubmitAppliesCommand(t *testing.T) {
+	c, srv := startAPICluster(t)
+	body, _ := json.Marshal(txRequest{Command: kvstore.EncodeSet("color", []byte("green"), 0)})
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	// The observer's store applies on the commit path that resolved
+	// the request, so the value must be visible promptly.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if v, ok := c.Store(c.Observer()).Get("color"); ok && string(v) == "green" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("committed command not applied to the kvstore")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStatusAndMetrics(t *testing.T) {
+	_, srv := startAPICluster(t)
+	// Push one tx so the chain moves.
+	body, _ := json.Marshal(txRequest{Command: kvstore.EncodeNoop(0)})
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		CurView         uint64
+		CommittedHeight uint64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if status.CommittedHeight == 0 || status.CurView == 0 {
+		t.Fatalf("empty status: %+v", status)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		BlocksCommitted uint64
+		TxCommitted     uint64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if m.BlocksCommitted == 0 {
+		t.Fatalf("no committed blocks in metrics: %+v", m)
+	}
+}
+
+func TestHashEndpoint(t *testing.T) {
+	c, srv := startAPICluster(t)
+	body, _ := json.Marshal(txRequest{Command: kvstore.EncodeNoop(0)})
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	h := c.Node(c.Observer()).Status().CommittedHeight
+	if h == 0 {
+		t.Fatal("no committed height")
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/hash?height=%d", srv.URL, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["hash"]) != 64 {
+		t.Fatalf("hash = %q", out["hash"])
+	}
+	// Unknown heights 404; bad parameters 400.
+	resp, err = http.Get(srv.URL + "/hash?height=99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown height status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing height status = %d", resp.StatusCode)
+	}
+}
+
+func TestBadTxBody(t *testing.T) {
+	_, srv := startAPICluster(t)
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewBufferString("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,131 @@
+// Package kvstore is the in-memory key-value execution layer the
+// paper adopts for protocol-level benchmarking (Section III-D).
+// Committed transactions are applied in commit order; reads are served
+// locally from the replica's store.
+package kvstore
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Op codes carried in the first byte of a transaction command.
+const (
+	OpNoop byte = iota
+	OpSet
+	OpDel
+)
+
+// Store is a replica's state machine. Safe for concurrent use: the
+// consensus loop applies, observers read.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string][]byte
+	applied uint64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Apply executes a committed payload in order. Unknown or malformed
+// commands are ignored (a real deployment would reject them at
+// submission; consensus has already ordered them here).
+func (s *Store) Apply(txs []types.Transaction) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range txs {
+		s.applied++
+		key, val, op, ok := Decode(txs[i].Command)
+		if !ok {
+			continue
+		}
+		switch op {
+		case OpSet:
+			s.data[key] = val
+		case OpDel:
+			delete(s.data, key)
+		}
+	}
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Applied returns the number of transactions applied.
+func (s *Store) Applied() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// EncodeSet builds a SET command. The payload pad extends the command
+// to the configured transaction payload size (Table I "psize").
+func EncodeSet(key string, value []byte, pad int) []byte {
+	return encode(OpSet, key, value, pad)
+}
+
+// EncodeDel builds a DEL command.
+func EncodeDel(key string, pad int) []byte {
+	return encode(OpDel, key, nil, pad)
+}
+
+// EncodeNoop builds a no-op command of exactly pad bytes of payload —
+// the zero-payload benchmark transaction.
+func EncodeNoop(pad int) []byte {
+	return encode(OpNoop, "", nil, pad)
+}
+
+func encode(op byte, key string, value []byte, pad int) []byte {
+	n := 1 + 2 + len(key) + 2 + len(value)
+	total := n
+	if pad > total {
+		total = pad
+	}
+	buf := make([]byte, total)
+	buf[0] = op
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(key)))
+	copy(buf[3:], key)
+	off := 3 + len(key)
+	binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(value)))
+	copy(buf[off+2:], value)
+	return buf
+}
+
+// Decode parses a command; ok is false for malformed input.
+func Decode(cmd []byte) (key string, value []byte, op byte, ok bool) {
+	if len(cmd) < 5 {
+		return "", nil, 0, false
+	}
+	op = cmd[0]
+	if op > OpDel {
+		return "", nil, 0, false
+	}
+	klen := int(binary.BigEndian.Uint16(cmd[1:3]))
+	if 3+klen+2 > len(cmd) {
+		return "", nil, 0, false
+	}
+	key = string(cmd[3 : 3+klen])
+	off := 3 + klen
+	vlen := int(binary.BigEndian.Uint16(cmd[off : off+2]))
+	if off+2+vlen > len(cmd) {
+		return "", nil, 0, false
+	}
+	value = cmd[off+2 : off+2+vlen]
+	return key, value, op, true
+}

@@ -1,0 +1,117 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func tx(cmd []byte) types.Transaction {
+	return types.Transaction{ID: types.TxID{Client: 1, Seq: 1}, Command: cmd}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	s := New()
+	s.Apply([]types.Transaction{tx(EncodeSet("k", []byte("v"), 0))})
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Apply([]types.Transaction{tx(EncodeDel("k", 0))})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if s.Applied() != 2 {
+		t.Fatalf("applied = %d", s.Applied())
+	}
+}
+
+func TestNoopLeavesStateUntouched(t *testing.T) {
+	s := New()
+	s.Apply([]types.Transaction{tx(EncodeNoop(128))})
+	if s.Len() != 0 {
+		t.Fatal("noop mutated state")
+	}
+	if s.Applied() != 1 {
+		t.Fatal("noop not counted as applied")
+	}
+}
+
+func TestApplyOrderLastWriteWins(t *testing.T) {
+	s := New()
+	s.Apply([]types.Transaction{
+		tx(EncodeSet("k", []byte("first"), 0)),
+		tx(EncodeSet("k", []byte("second"), 0)),
+	})
+	if v, _ := s.Get("k"); string(v) != "second" {
+		t.Fatalf("value = %q, want last write", v)
+	}
+}
+
+func TestMalformedCommandsIgnored(t *testing.T) {
+	s := New()
+	s.Apply([]types.Transaction{
+		tx(nil),
+		tx([]byte{1}),
+		tx([]byte{99, 0, 0, 0, 0}),       // unknown opcode
+		tx([]byte{OpSet, 0xff, 0xff, 1}), // key length overruns
+	})
+	if s.Len() != 0 {
+		t.Fatal("malformed command mutated state")
+	}
+	if s.Applied() != 4 {
+		t.Fatalf("applied = %d (malformed still counts as ordered)", s.Applied())
+	}
+}
+
+func TestPaddingReachesPayloadSize(t *testing.T) {
+	cmd := EncodeSet("k", []byte("v"), 1024)
+	if len(cmd) != 1024 {
+		t.Fatalf("padded command = %d bytes, want 1024", len(cmd))
+	}
+	key, val, op, ok := Decode(cmd)
+	if !ok || op != OpSet || key != "k" || string(val) != "v" {
+		t.Fatalf("padded decode = %q %q %d %v", key, val, op, ok)
+	}
+	// Commands larger than the pad keep their natural size.
+	big := EncodeSet("k", make([]byte, 2048), 100)
+	if len(big) < 2048 {
+		t.Fatal("pad truncated a large command")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary keys and values.
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(key string, value []byte, pad uint16) bool {
+		if len(key) > 65535 {
+			return true
+		}
+		cmd := EncodeSet(key, value, int(pad))
+		k, v, op, ok := Decode(cmd)
+		return ok && op == OpSet && k == key && bytes.Equal(v, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadsDuringApply(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			s.Apply([]types.Transaction{tx(EncodeSet("k", []byte{byte(i)}, 0))})
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		s.Get("k")
+		s.Len()
+		s.Applied()
+	}
+	<-done
+}

@@ -1,0 +1,204 @@
+// Package ledger persists finalized blocks: the paper's Section II
+// notes that "finalized blocks can be removed from memory to persistent
+// storage for garbage collection", and the forest's compaction assumes
+// something downstream retains the history. A Ledger is that something:
+// an append-only file of committed blocks in commit order, with a
+// replay path for audits and crash recovery.
+//
+// The format is a sequence of length-prefixed, self-contained gob
+// records (each record carries its own type header, so a reopened
+// ledger can keep appending and a single replay can read across
+// sessions). Appends run on the replica's commit path and are
+// synchronous but cheap; a deployment wanting group commit can use
+// OpenBuffered.
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// record is one persisted block.
+type record struct {
+	Height   uint64
+	View     types.View
+	Proposer types.NodeID
+	Parent   types.Hash
+	ID       types.Hash
+	Payload  []types.Transaction
+}
+
+// Ledger is an append-only store of committed blocks.
+type Ledger struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      io.Writer
+	flush  func() error
+	height uint64
+	closed bool
+}
+
+// Open creates (or appends to) the ledger at path. If the file already
+// contains records, the ledger resumes from the last height.
+func Open(path string) (*Ledger, error) {
+	return open(path, false)
+}
+
+// OpenBuffered is Open with a write buffer: appends become group
+// commits flushed on Sync/Close (faster, weaker durability).
+func OpenBuffered(path string) (*Ledger, error) {
+	return open(path, true)
+}
+
+func open(path string, buffered bool) (*Ledger, error) {
+	// Resume point: scan any existing records first.
+	var height uint64
+	err := Replay(path, func(b *types.Block, h uint64) error {
+		height = h
+		return nil
+	})
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	l := &Ledger{f: f, height: height}
+	if buffered {
+		bw := bufio.NewWriterSize(f, 1<<16)
+		l.w = bw
+		l.flush = bw.Flush
+	} else {
+		l.w = f
+		l.flush = func() error { return nil }
+	}
+	return l, nil
+}
+
+// Append persists a committed block at the next height. Blocks must
+// arrive in commit order; a skipped or repeated height is rejected,
+// because the on-disk chain must mirror the committed chain exactly.
+func (l *Ledger) Append(b *types.Block, height uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("ledger: closed")
+	}
+	if height != l.height+1 {
+		return fmt.Errorf("ledger: non-contiguous append: height %d after %d", height, l.height)
+	}
+	rec := record{
+		Height:   height,
+		View:     b.View,
+		Proposer: b.Proposer,
+		Parent:   b.Parent,
+		ID:       b.ID(),
+		Payload:  b.Payload,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(buf.Len()))
+	if _, err := l.w.Write(lenb[:n]); err != nil {
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	if _, err := l.w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	l.height = height
+	return nil
+}
+
+// Height returns the last persisted height.
+func (l *Ledger) Height() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.height
+}
+
+// Sync flushes buffered records to the file.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flush(); err != nil {
+		return fmt.Errorf("ledger: flush: %w", err)
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.flush(); err != nil {
+		return fmt.Errorf("ledger: flush: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Replay streams the persisted chain in commit order, reconstructing
+// blocks and verifying that heights are contiguous and parent hashes
+// chain correctly. fn receives each block and its height.
+func Replay(path string, fn func(b *types.Block, height uint64) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	br := bufio.NewReader(f)
+	var prevID types.Hash
+	var prevHeight uint64
+	first := true
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("ledger: corrupt frame after height %d: %w", prevHeight, err)
+		}
+		if size > 1<<30 {
+			return fmt.Errorf("ledger: implausible record size %d after height %d", size, prevHeight)
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return fmt.Errorf("ledger: truncated record after height %d: %w", prevHeight, err)
+		}
+		var rec record
+		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&rec); err != nil {
+			return fmt.Errorf("ledger: corrupt record after height %d: %w", prevHeight, err)
+		}
+		if !first && rec.Height != prevHeight+1 {
+			return fmt.Errorf("ledger: height gap: %d after %d", rec.Height, prevHeight)
+		}
+		if !first && rec.Parent != prevID {
+			return fmt.Errorf("ledger: broken chain at height %d", rec.Height)
+		}
+		b := &types.Block{
+			View:     rec.View,
+			Proposer: rec.Proposer,
+			Parent:   rec.Parent,
+			Payload:  rec.Payload,
+		}
+		if err := fn(b, rec.Height); err != nil {
+			return err
+		}
+		prevID, prevHeight, first = rec.ID, rec.Height, false
+	}
+}

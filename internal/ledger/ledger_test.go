@@ -1,0 +1,209 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// buildChain creates n linked blocks starting from genesis.
+func buildChain(n int) []*types.Block {
+	parentQC := types.GenesisQC()
+	out := make([]*types.Block, 0, n)
+	for v := types.View(1); v <= types.View(n); v++ {
+		b := safety.BuildBlock(1, v, parentQC, []types.Transaction{
+			{ID: types.TxID{Client: 1, Seq: uint64(v)}, Command: []byte("cmd")},
+		})
+		out = append(out, b)
+		parentQC = &types.QC{View: v, BlockID: b.ID()}
+	}
+	return out
+}
+
+func TestAppendAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := buildChain(5)
+	for i, b := range blocks {
+		if err := l.Append(b, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Height() != 5 {
+		t.Fatalf("height = %d", l.Height())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []*types.Block
+	err = Replay(path, func(b *types.Block, h uint64) error {
+		replayed = append(replayed, b)
+		if h != uint64(len(replayed)) {
+			t.Fatalf("height %d out of order", h)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 5 {
+		t.Fatalf("replayed %d blocks", len(replayed))
+	}
+	for i, b := range replayed {
+		if b.View != blocks[i].View || len(b.Payload) != 1 {
+			t.Fatalf("block %d mangled: %+v", i, b)
+		}
+	}
+}
+
+func TestAppendRejectsGaps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	blocks := buildChain(3)
+	if err := l.Append(blocks[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(blocks[2], 3); err == nil {
+		t.Fatal("height gap accepted")
+	}
+	if err := l.Append(blocks[0], 1); err == nil {
+		t.Fatal("repeat height accepted")
+	}
+}
+
+func TestResumeFromExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	blocks := buildChain(4)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := l.Append(blocks[i], uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the ledger resumes at height 2 and accepts 3 next.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Height() != 2 {
+		t.Fatalf("resumed height = %d, want 2", l2.Height())
+	}
+	if err := l2.Append(blocks[2], 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := Replay(path, func(*types.Block, uint64) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("replayed %d, want 3", count)
+	}
+}
+
+func TestReplayDetectsBrokenChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := buildChain(2)
+	if err := l.Append(blocks[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a block whose parent link does not match.
+	rogue := safety.BuildBlock(2, 9, &types.QC{View: 8, BlockID: types.Hash{9}}, nil)
+	if err := l.Append(rogue, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(path, func(*types.Block, uint64) error { return nil }); err == nil {
+		t.Fatal("broken parent chain not detected")
+	}
+}
+
+func TestReplayDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buildChain(3) {
+		if err := l.Append(b, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(path, func(*types.Block, uint64) error { return nil }); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestBufferedLedgerSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	l, err := OpenBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := buildChain(1)
+	if err := l.Append(blocks[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := Replay(path, func(*types.Block, uint64) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("synced record not visible: %d", count)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := l.Append(blocks[0], 2); err == nil {
+		t.Fatal("append after close accepted")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	err := Replay(filepath.Join(t.TempDir(), "absent"), func(*types.Block, uint64) error { return nil })
+	if err == nil {
+		t.Fatal("missing file not reported")
+	}
+}

@@ -1,0 +1,210 @@
+// Package mempool implements the memory pool of Section III-E: a
+// bidirectional queue in which new transactions are inserted at the
+// back while transactions recovered from forked blocks are re-inserted
+// at the front. Membership is tracked so each node avoids duplicate
+// queuing without a global duplication check.
+//
+// The pool is safe for concurrent use: client-facing goroutines add
+// transactions while the replica's event loop batches them.
+package mempool
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Errors reported by Add.
+var (
+	ErrFull      = errors.New("mempool: full")
+	ErrDuplicate = errors.New("mempool: duplicate transaction")
+)
+
+// Pool is a capacity-bounded transaction deque.
+type Pool struct {
+	mu      sync.Mutex
+	q       deque
+	members map[types.TxID]struct{}
+	cap     int
+}
+
+// New creates a pool holding at most capacity transactions (Table I
+// "memsize").
+func New(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		members: make(map[types.TxID]struct{}, capacity),
+		cap:     capacity,
+	}
+}
+
+// Add appends a new client transaction at the back of the queue.
+func (p *Pool) Add(tx types.Transaction) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.members[tx.ID]; dup {
+		return ErrDuplicate
+	}
+	if p.q.len() >= p.cap {
+		return ErrFull
+	}
+	p.members[tx.ID] = struct{}{}
+	p.q.pushBack(tx)
+	return nil
+}
+
+// Requeue re-inserts transactions recovered from forked blocks at the
+// front of the queue, preserving their relative order. Duplicates are
+// skipped. Requeued transactions were already admitted once, so they
+// may transiently push the pool past its capacity rather than being
+// dropped. It returns the number of transactions accepted.
+func (p *Pool) Requeue(txs []types.Transaction) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	accepted := 0
+	// Walk in reverse so that pushFront preserves original order.
+	for i := len(txs) - 1; i >= 0; i-- {
+		tx := txs[i]
+		if _, dup := p.members[tx.ID]; dup {
+			continue
+		}
+		p.members[tx.ID] = struct{}{}
+		p.q.pushFront(tx)
+		accepted++
+	}
+	return accepted
+}
+
+// Batch removes and returns up to max transactions from the front —
+// the paper's simple batching strategy: the proposer takes everything
+// available when the pool holds fewer than the target block size.
+func (p *Pool) Batch(max int) []types.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.q.len()
+	if n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		tx, _ := p.q.popFront()
+		delete(p.members, tx.ID)
+		out = append(out, tx)
+	}
+	return out
+}
+
+// Remove drops the given transactions if still queued — used when a
+// block commits carrying transactions this node also holds (e.g. after
+// a fork recycled them into a competing proposal). It returns the
+// number of transactions removed.
+func (p *Pool) Remove(ids []types.TxID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	removed := 0
+	for _, id := range ids {
+		if _, ok := p.members[id]; !ok {
+			continue
+		}
+		delete(p.members, id)
+		removed++
+	}
+	if removed > 0 {
+		p.q.filter(func(tx types.Transaction) bool {
+			_, keep := p.members[tx.ID]
+			return keep
+		})
+	}
+	return removed
+}
+
+// Contains reports whether the transaction is queued.
+func (p *Pool) Contains(id types.TxID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.members[id]
+	return ok
+}
+
+// Len returns the number of queued transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.q.len()
+}
+
+// Cap returns the configured capacity.
+func (p *Pool) Cap() int { return p.cap }
+
+// deque is a growable ring buffer of transactions.
+type deque struct {
+	buf   []types.Transaction
+	head  int
+	count int
+}
+
+func (d *deque) len() int { return d.count }
+
+func (d *deque) grow() {
+	newCap := len(d.buf) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	buf := make([]types.Transaction, newCap)
+	for i := 0; i < d.count; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+func (d *deque) pushBack(tx types.Transaction) {
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = tx
+	d.count++
+}
+
+func (d *deque) pushFront(tx types.Transaction) {
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = tx
+	d.count++
+}
+
+func (d *deque) popFront() (types.Transaction, bool) {
+	if d.count == 0 {
+		return types.Transaction{}, false
+	}
+	tx := d.buf[d.head]
+	d.buf[d.head] = types.Transaction{} // release payload memory
+	d.head = (d.head + 1) % len(d.buf)
+	d.count--
+	return tx, true
+}
+
+// filter keeps only transactions satisfying keep, preserving order.
+func (d *deque) filter(keep func(types.Transaction) bool) {
+	kept := make([]types.Transaction, 0, d.count)
+	for i := 0; i < d.count; i++ {
+		tx := d.buf[(d.head+i)%len(d.buf)]
+		if keep(tx) {
+			kept = append(kept, tx)
+		}
+	}
+	d.buf = kept
+	d.head = 0
+	d.count = len(kept)
+	if cap(d.buf) == 0 {
+		d.buf = make([]types.Transaction, 0, 16)
+	}
+}

@@ -1,0 +1,278 @@
+// Package model implements the Section V queuing-theory performance
+// model for chained-BFT protocols. It estimates transaction latency as
+//
+//	latency = t_L + t_s + t_commit + w_Q                      (Eq. 3)
+//
+// where t_L is the client↔replica RTT (mean µ), t_s the block service
+// time
+//
+//	t_s = 3·t_CPU + 2·t_NIC + t_Q                             (Eq. 4)
+//
+// t_NIC = 2m/b the NIC serialization of a block of m bytes over
+// bandwidth b, t_Q the expected (2N/3 − 1)-th order statistic of N−1
+// i.i.d. Normal(µ, σ) link delays (the quorum-collection wait),
+// t_commit the commit-rule tail (2·t_s for HotStuff's three-chain,
+// t_s for 2CHS and Streamlet), and w_Q the M/D/1 waiting time
+//
+//	w_Q = ρ / (2u(1−ρ)),  u = 1/(N·t_s),  ρ = γ/u,  γ = λ/(nN) (Eq. 5)
+//
+// for Poisson transaction arrivals at rate λ batched n per block.
+//
+// The order statistic is computed two ways — Monte Carlo simulation
+// (as the paper suggests, following Paxi) and Blom's closed-form
+// approximation via the inverse normal CDF — and the tests cross-check
+// them.
+package model
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Protocol selects the commit-rule tail of the analyzed protocol.
+type Protocol int
+
+// Analyzed protocols.
+const (
+	HotStuff Protocol = iota + 1
+	TwoChainHotStuff
+	Streamlet
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case HotStuff:
+		return "hotstuff"
+	case TwoChainHotStuff:
+		return "2chainhs"
+	case Streamlet:
+		return "streamlet"
+	default:
+		return "unknown"
+	}
+}
+
+// Params are the measured system parameters of Section V-A.
+type Params struct {
+	// N is the number of replicas.
+	N int
+	// BlockSize is the number of transactions per block (n).
+	BlockSize int
+	// Mu and Sigma describe the Normal(µ, σ) link RTT.
+	Mu    time.Duration
+	Sigma time.Duration
+	// TCPU is the constant per-operation CPU cost (signing,
+	// verification), measured on the target machine.
+	TCPU time.Duration
+	// BlockBytes is the wire size m of a block.
+	BlockBytes float64
+	// Bandwidth is the per-NIC bandwidth b in bytes/second; zero
+	// disables the NIC term.
+	Bandwidth float64
+}
+
+// ErrSaturated is returned when the arrival rate meets or exceeds the
+// service capacity (ρ ≥ 1), where the M/D/1 queue diverges.
+var ErrSaturated = errors.New("model: arrival rate saturates the service capacity")
+
+// TNIC returns the NIC serialization delay 2m/b.
+func (p Params) TNIC() time.Duration {
+	if p.Bandwidth <= 0 || p.BlockBytes <= 0 {
+		return 0
+	}
+	return time.Duration(2 * p.BlockBytes / p.Bandwidth * float64(time.Second))
+}
+
+// QuorumWait returns t_Q: the expected value of the (2N/3 − 1)-th
+// order statistic of N−1 i.i.d. Normal(µ, σ) samples, via Blom's
+// approximation. The −1 accounts for the leader's own vote.
+func (p Params) QuorumWait() time.Duration {
+	k := 2*p.N/3 - 1
+	n := p.N - 1
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return expectedOrderStatBlom(k, n, p.Mu, p.Sigma)
+}
+
+// QuorumWaitMC returns t_Q via Monte Carlo with the given sample count
+// and seed — the estimation route the paper borrows from Paxi.
+func (p Params) QuorumWaitMC(samples int, seed int64) time.Duration {
+	k := 2*p.N/3 - 1
+	n := p.N - 1
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return expectedOrderStatMC(k, n, p.Mu, p.Sigma, samples, seed)
+}
+
+// ServiceTime returns t_s = 3·t_CPU + 2·t_NIC + t_Q (Eq. 4).
+func (p Params) ServiceTime() time.Duration {
+	return 3*p.TCPU + 2*p.TNIC() + p.QuorumWait()
+}
+
+// CommitWait returns t_commit for the protocol: 2·t_s for HotStuff's
+// three-chain; t_s for 2CHS (two-chain) and Streamlet (one more
+// notarized block). Section V-D.
+func (p Params) CommitWait(proto Protocol) time.Duration {
+	ts := p.ServiceTime()
+	if proto == HotStuff {
+		return 2 * ts
+	}
+	return ts
+}
+
+// QueueWait returns w_Q for Poisson arrivals at rate lambda
+// (transactions/second) under the M/D/1 approximation of Section V-C4.
+func (p Params) QueueWait(lambda float64) (time.Duration, error) {
+	if lambda <= 0 {
+		return 0, nil
+	}
+	ts := p.ServiceTime().Seconds()
+	// Effective service time of a replica's "virtual block" is N·t_s:
+	// the replica leads once every N views on average.
+	u := 1 / (float64(p.N) * ts)
+	gamma := lambda / (float64(p.BlockSize) * float64(p.N))
+	rho := gamma / u
+	if rho >= 1 {
+		return 0, ErrSaturated
+	}
+	w := rho / (2 * u * (1 - rho))
+	return time.Duration(w * float64(time.Second)), nil
+}
+
+// Latency returns the end-to-end transaction latency estimate (Eq. 3)
+// at arrival rate lambda.
+func (p Params) Latency(proto Protocol, lambda float64) (time.Duration, error) {
+	wq, err := p.QueueWait(lambda)
+	if err != nil {
+		return 0, err
+	}
+	return p.Mu + p.ServiceTime() + p.CommitWait(proto) + wq, nil
+}
+
+// SaturationRate returns the largest Poisson arrival rate (tx/s) the
+// model sustains (ρ < 1) — the knee of the L-shaped latency curve.
+func (p Params) SaturationRate() float64 {
+	ts := p.ServiceTime().Seconds()
+	if ts <= 0 {
+		return math.Inf(1)
+	}
+	// ρ = λ·t_s/blockSize < 1  (the N factors cancel).
+	return float64(p.BlockSize) / ts
+}
+
+// Curve samples (throughput, latency) pairs for plotting a model line
+// up to the given fraction of saturation.
+func (p Params) Curve(proto Protocol, points int, maxUtilization float64) []CurvePoint {
+	if points < 2 {
+		points = 2
+	}
+	if maxUtilization <= 0 || maxUtilization >= 1 {
+		maxUtilization = 0.95
+	}
+	sat := p.SaturationRate()
+	out := make([]CurvePoint, 0, points)
+	for i := 1; i <= points; i++ {
+		lambda := sat * maxUtilization * float64(i) / float64(points)
+		lat, err := p.Latency(proto, lambda)
+		if err != nil {
+			break
+		}
+		out = append(out, CurvePoint{Rate: lambda, Latency: lat})
+	}
+	return out
+}
+
+// CurvePoint is one sampled point of a model latency curve.
+type CurvePoint struct {
+	// Rate is the transaction arrival rate ≈ throughput (Table II
+	// verifies the two coincide below saturation).
+	Rate float64
+	// Latency is the end-to-end estimate at that rate.
+	Latency time.Duration
+}
+
+// expectedOrderStatBlom approximates E[X_(k:n)] for Normal(µ, σ) with
+// Blom's formula: µ + σ·Φ⁻¹((k − α)/(n − 2α + 1)), α = 0.375.
+func expectedOrderStatBlom(k, n int, mu, sigma time.Duration) time.Duration {
+	const alpha = 0.375
+	q := (float64(k) - alpha) / (float64(n) - 2*alpha + 1)
+	z := normalQuantile(q)
+	return mu + time.Duration(z*float64(sigma))
+}
+
+// expectedOrderStatMC estimates E[X_(k:n)] by simulation.
+func expectedOrderStatMC(k, n int, mu, sigma time.Duration, samples int, seed int64) time.Duration {
+	if samples < 1 {
+		samples = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draws := make([]float64, n)
+	var sum float64
+	for s := 0; s < samples; s++ {
+		for i := range draws {
+			draws[i] = rng.NormFloat64()*float64(sigma) + float64(mu)
+		}
+		sort.Float64s(draws)
+		sum += draws[k-1]
+	}
+	return time.Duration(sum / float64(samples))
+}
+
+// normalQuantile is the inverse standard normal CDF Φ⁻¹, using the
+// Beasley-Springer-Moro rational approximation (absolute error below
+// 3e-9 across (0,1)).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

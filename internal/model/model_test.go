@@ -1,0 +1,273 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testParams() Params {
+	return Params{
+		N:          4,
+		BlockSize:  400,
+		Mu:         400 * time.Microsecond,
+		Sigma:      100 * time.Microsecond,
+		TCPU:       30 * time.Microsecond,
+		BlockBytes: 400 * 24,
+		Bandwidth:  1 << 30,
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447, 1.0},  // Φ(1) ≈ 0.8413
+		{0.9772499, 2.0},  // Φ(2)
+		{0.1586553, -1.0}, // Φ(-1)
+		{0.975, 1.959964},
+		{0.99, 2.326348},
+		{0.01, -2.326348},
+	}
+	for _, c := range cases {
+		got := normalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("Φ⁻¹(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("quantile endpoints must be ±Inf")
+	}
+}
+
+// Property: Φ⁻¹ is monotone increasing and antisymmetric about 0.5.
+func TestNormalQuantilePropertiesQuick(t *testing.T) {
+	mono := func(a, b float64) bool {
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return normalQuantile(pa) <= normalQuantile(pb)
+	}
+	if err := quick.Check(mono, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.4} {
+		if d := normalQuantile(p) + normalQuantile(1-p); math.Abs(d) > 1e-6 {
+			t.Errorf("antisymmetry violated at %v: %v", p, d)
+		}
+	}
+}
+
+// TestOrderStatBlomVsMonteCarlo cross-validates the two t_Q routes.
+func TestOrderStatBlomVsMonteCarlo(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		p := testParams()
+		p.N = n
+		blom := p.QuorumWait()
+		mc := p.QuorumWaitMC(20000, 42)
+		diff := math.Abs(float64(blom - mc))
+		if diff > 0.05*float64(mc) {
+			t.Errorf("n=%d: Blom %v vs MC %v differ by more than 5%%", n, blom, mc)
+		}
+	}
+}
+
+func TestQuorumWaitGrowsWithN(t *testing.T) {
+	prev := time.Duration(0)
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		p := testParams()
+		p.N = n
+		tq := p.QuorumWait()
+		if tq <= 0 {
+			t.Fatalf("n=%d: non-positive t_Q %v", n, tq)
+		}
+		if tq < prev {
+			t.Fatalf("t_Q not monotone in N: n=%d gives %v < %v", n, tq, prev)
+		}
+		prev = tq
+	}
+}
+
+func TestTNIC(t *testing.T) {
+	p := testParams()
+	p.BlockBytes = 1 << 20 // 1 MiB
+	p.Bandwidth = 1 << 20  // 1 MiB/s
+	if got := p.TNIC(); got != 2*time.Second {
+		t.Fatalf("tNIC = %v, want 2s (2m/b)", got)
+	}
+	p.Bandwidth = 0
+	if p.TNIC() != 0 {
+		t.Fatal("tNIC must be 0 without bandwidth modelling")
+	}
+}
+
+func TestServiceTimeComposition(t *testing.T) {
+	p := testParams()
+	want := 3*p.TCPU + 2*p.TNIC() + p.QuorumWait()
+	if got := p.ServiceTime(); got != want {
+		t.Fatalf("t_s = %v, want %v", got, want)
+	}
+}
+
+// TestCommitWaitOrdering pins the Section V-D results: HotStuff waits
+// two service times (three-chain), the others one.
+func TestCommitWaitOrdering(t *testing.T) {
+	p := testParams()
+	ts := p.ServiceTime()
+	if p.CommitWait(HotStuff) != 2*ts {
+		t.Fatal("HotStuff t_commit must be 2·t_s")
+	}
+	if p.CommitWait(TwoChainHotStuff) != ts {
+		t.Fatal("2CHS t_commit must be t_s")
+	}
+	if p.CommitWait(Streamlet) != ts {
+		t.Fatal("Streamlet t_commit must be t_s")
+	}
+}
+
+// TestLatencyOrdering: at equal load the model must reproduce the
+// paper's latency ranking — 2CHS below HotStuff (one fewer round).
+func TestLatencyOrdering(t *testing.T) {
+	p := testParams()
+	lambda := 0.5 * p.SaturationRate()
+	lhs, err := p.Latency(HotStuff, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2c, err := p.Latency(TwoChainHotStuff, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2c >= lhs {
+		t.Fatalf("2CHS latency %v must beat HotStuff %v", l2c, lhs)
+	}
+}
+
+// TestQueueWaitMonotoneAndDiverging: w_Q grows with λ and explodes
+// toward saturation — the L-shape of every throughput/latency plot.
+func TestQueueWaitMonotoneAndDiverging(t *testing.T) {
+	p := testParams()
+	sat := p.SaturationRate()
+	prev := time.Duration(-1)
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		w, err := p.QueueWait(frac * sat)
+		if err != nil {
+			t.Fatalf("ρ=%v: %v", frac, err)
+		}
+		if w <= prev {
+			t.Fatalf("w_Q not strictly increasing at ρ=%v", frac)
+		}
+		prev = w
+	}
+	if _, err := p.QueueWait(sat); !errors.Is(err, ErrSaturated) {
+		t.Fatal("ρ=1 must report saturation")
+	}
+	if _, err := p.Latency(HotStuff, 2*sat); !errors.Is(err, ErrSaturated) {
+		t.Fatal("latency beyond saturation must report ErrSaturated")
+	}
+	// The knee: w_Q at 99% load dwarfs w_Q at 10% load.
+	w10, _ := p.QueueWait(0.1 * sat)
+	w99, _ := p.QueueWait(0.99 * sat)
+	if w99 < 20*w10 {
+		t.Fatalf("no L-shape: w(0.99)=%v vs w(0.10)=%v", w99, w10)
+	}
+}
+
+func TestZeroLoadQueueWait(t *testing.T) {
+	p := testParams()
+	w, err := p.QueueWait(0)
+	if err != nil || w != 0 {
+		t.Fatalf("zero load must have zero wait: %v %v", w, err)
+	}
+}
+
+// TestBiggerBlocksRaiseSaturation: increasing the block size amortizes
+// consensus cost over more transactions — the Figure 9 effect.
+func TestBiggerBlocksRaiseSaturation(t *testing.T) {
+	small, big := testParams(), testParams()
+	small.BlockSize = 100
+	big.BlockSize = 800
+	// Keep per-tx wire cost equal.
+	small.BlockBytes = 100 * 24
+	big.BlockBytes = 800 * 24
+	if big.SaturationRate() <= small.SaturationRate() {
+		t.Fatalf("b800 saturation %v must exceed b100 %v",
+			big.SaturationRate(), small.SaturationRate())
+	}
+}
+
+// TestDelaysDominateLatency: adding network delay raises latency for
+// every protocol and narrows relative gaps — the Figure 11 effect.
+func TestDelaysDominateLatency(t *testing.T) {
+	base := testParams()
+	slow := testParams()
+	slow.Mu = 10 * time.Millisecond
+	slow.Sigma = 2 * time.Millisecond
+	lb, err := base.Latency(HotStuff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := slow.Latency(HotStuff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls < 10*lb {
+		t.Fatalf("10ms links should dominate: %v vs %v", ls, lb)
+	}
+	// Relative HS/2CHS gap shrinks as µ dominates... in absolute
+	// terms the gap is one t_s in both, so check the ratio.
+	gb := ratioGap(t, base)
+	gs := ratioGap(t, slow)
+	if gs >= gb {
+		t.Fatalf("relative HS/2CHS gap must narrow with delay: %v vs %v", gs, gb)
+	}
+}
+
+func ratioGap(t *testing.T, p Params) float64 {
+	t.Helper()
+	lh, err := p.Latency(HotStuff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := p.Latency(TwoChainHotStuff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(lh-l2) / float64(l2)
+}
+
+func TestCurveShape(t *testing.T) {
+	p := testParams()
+	curve := p.Curve(HotStuff, 10, 0.95)
+	if len(curve) != 10 {
+		t.Fatalf("curve has %d points, want 10", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Rate <= curve[i-1].Rate {
+			t.Fatal("curve rates must increase")
+		}
+		if curve[i].Latency < curve[i-1].Latency {
+			t.Fatal("curve latency must be non-decreasing in load")
+		}
+	}
+	// Degenerate parameters fall back sanely.
+	if got := p.Curve(HotStuff, 1, 2.0); len(got) < 2 {
+		t.Fatal("curve must clamp bad arguments")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	for p, want := range map[Protocol]string{
+		HotStuff: "hotstuff", TwoChainHotStuff: "2chainhs",
+		Streamlet: "streamlet", Protocol(99): "unknown",
+	} {
+		if p.String() != want {
+			t.Errorf("String() = %q, want %q", p.String(), want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package network provides the message-passing layer (modeled after
+// the Paxi network module the paper reuses): a Transport interface
+// with two implementations — an in-process channel switch supporting
+// the paper's delay, bandwidth, partition, fluctuation, and crash
+// modelling for single-machine simulation, and a TCP transport for
+// multi-process deployment.
+package network
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Envelope pairs a message with its sender.
+type Envelope struct {
+	From types.NodeID
+	Msg  any
+}
+
+// Transport is the interface replicas and in-process clients use to
+// exchange messages. Send and Broadcast never block on slow peers;
+// delivery is best-effort, exactly like a datagram network after the
+// paper's GST assumption is dropped.
+type Transport interface {
+	// Self returns the local node ID.
+	Self() types.NodeID
+	// Send delivers msg to one peer.
+	Send(to types.NodeID, msg any)
+	// Broadcast delivers msg to every registered replica except
+	// the sender itself.
+	Broadcast(msg any)
+	// Inbox streams incoming envelopes until Close.
+	Inbox() <-chan Envelope
+	// Close detaches the endpoint and releases resources.
+	Close() error
+}
+
+// Sizer lets the switch charge bandwidth for a message; messages
+// without a size are charged a small fixed header cost.
+type Sizer interface {
+	Size() int
+}
+
+// messageSize estimates the wire size of a message for bandwidth
+// modelling. Votes/timeouts are small and fixed; proposals implement
+// Sizer through their block.
+func messageSize(msg any) int {
+	switch m := msg.(type) {
+	case types.ProposalMsg:
+		if m.Block != nil {
+			return m.Block.Size()
+		}
+	case types.VoteMsg:
+		return 150 // view + hash + id + signature
+	case types.TimeoutMsg:
+		if m.Timeout != nil && m.Timeout.HighQC != nil {
+			return 150 + 100*len(m.Timeout.HighQC.Signers)
+		}
+		return 150
+	case types.TCMsg:
+		if m.TC != nil {
+			return 100 * (len(m.TC.Signers) + 1)
+		}
+	case types.RequestMsg:
+		return m.Tx.Size()
+	case Sizer:
+		return m.Size()
+	}
+	return 64
+}

@@ -1,0 +1,120 @@
+package network
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// delivery is one delayed message awaiting its deadline.
+type delivery struct {
+	at   time.Time
+	from types.NodeID
+	to   types.NodeID
+	msg  any
+	size int
+}
+
+// deliveryHeap orders deliveries by deadline.
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int           { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h deliveryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)        { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = delivery{}
+	*h = old[:n-1]
+	return d
+}
+
+// scheduler delivers delayed messages from a single goroutine driven
+// by one timer — the cheap, precise alternative to a runtime timer per
+// message.
+type scheduler struct {
+	sw   *Switch
+	mu   sync.Mutex
+	h    deliveryHeap
+	wake chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func newScheduler(sw *Switch) *scheduler {
+	s := &scheduler{
+		sw:   sw,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// schedule queues a delivery and wakes the loop if the new deadline
+// precedes the previous earliest one.
+func (s *scheduler) schedule(d delivery) {
+	s.mu.Lock()
+	needWake := s.h.Len() == 0 || d.at.Before(s.h[0].at)
+	heap.Push(&s.h, d)
+	s.mu.Unlock()
+	if needWake {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// stop terminates the loop; queued deliveries are discarded.
+func (s *scheduler) stop() {
+	s.once.Do(func() { close(s.done) })
+}
+
+func (s *scheduler) run() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		// Flush everything already due.
+		now := time.Now()
+		for s.h.Len() > 0 && !s.h[0].at.After(now) {
+			d := heap.Pop(&s.h).(delivery)
+			s.mu.Unlock()
+			s.sw.deliverDue(d)
+			s.mu.Lock()
+		}
+		var wait time.Duration
+		hasNext := s.h.Len() > 0
+		if hasNext {
+			wait = time.Until(s.h[0].at)
+		}
+		s.mu.Unlock()
+
+		if !hasNext {
+			select {
+			case <-s.done:
+				return
+			case <-s.wake:
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-s.done:
+			return
+		case <-s.wake:
+		case <-timer.C:
+		}
+	}
+}

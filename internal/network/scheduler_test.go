@@ -1,0 +1,124 @@
+package network
+
+import (
+	"container/heap"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// TestDeliveryHeapOrdering: the heap yields deliveries in deadline
+// order regardless of insertion order.
+func TestDeliveryHeapOrdering(t *testing.T) {
+	f := func(offsets []int16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		base := time.Unix(1000, 0)
+		var h deliveryHeap
+		for _, off := range offsets {
+			heap.Push(&h, delivery{at: base.Add(time.Duration(off) * time.Millisecond)})
+		}
+		sorted := make([]int16, len(offsets))
+		copy(sorted, offsets)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, want := range sorted {
+			d := heap.Pop(&h).(delivery)
+			if d.at != base.Add(time.Duration(want)*time.Millisecond) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerOrdersDeliveries: messages with shorter delays arrive
+// first even when scheduled last.
+func TestSchedulerOrdersDeliveries(t *testing.T) {
+	cond := NewConditions(1)
+	s := NewSwitch(cond)
+	defer s.Close()
+	a, err := s.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule the slow message first, then the fast one: the fast
+	// one must still win the race (the scheduler re-arms its timer
+	// for the new earliest deadline).
+	cond.SetBaseDelay(60*time.Millisecond, 0)
+	a.Send(2, "slow")
+	cond.SetBaseDelay(10*time.Millisecond, 0)
+	a.Send(2, "fast")
+	first := recvWithin(t, b, time.Second)
+	second := recvWithin(t, b, time.Second)
+	if first.Msg != "fast" || second.Msg != "slow" {
+		t.Fatalf("order: %v then %v", first.Msg, second.Msg)
+	}
+}
+
+// TestSchedulerHighVolume pushes many delayed messages through one
+// scheduler and requires complete delivery.
+func TestSchedulerHighVolume(t *testing.T) {
+	cond := NewConditions(1)
+	cond.SetBaseDelay(2*time.Millisecond, time.Millisecond)
+	s := NewSwitch(cond)
+	defer s.Close()
+	a, err := s.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 5000
+	go func() {
+		for i := 0; i < count; i++ {
+			a.Send(2, types.VoteMsg{Vote: &types.Vote{View: types.View(i), Voter: 1}})
+		}
+	}()
+	received := 0
+	deadline := time.After(10 * time.Second)
+	for received < count {
+		select {
+		case <-b.Inbox():
+			received++
+		case <-deadline:
+			t.Fatalf("received %d of %d", received, count)
+		}
+	}
+}
+
+// TestSwitchCloseStopsScheduler: pending deliveries die with the
+// switch, and Close is idempotent.
+func TestSwitchCloseStopsScheduler(t *testing.T) {
+	cond := NewConditions(1)
+	cond.SetBaseDelay(50*time.Millisecond, 0)
+	s := NewSwitch(cond)
+	a, err := s.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send(2, "doomed")
+	s.Close()
+	s.Close()
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("delivery after Close: %v", m)
+	case <-time.After(120 * time.Millisecond):
+	}
+}

@@ -1,0 +1,237 @@
+package network
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/bamboo-bft/bamboo/internal/codec"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// outboundDepth bounds each peer's send queue; overflow drops the
+// message, preserving the Transport contract that sends never block
+// (datagram semantics — a blocked consensus loop is a deadlock risk,
+// a dropped message is just a retransmit).
+const outboundDepth = 1 << 12
+
+// TCP is a Transport connecting replicas over persistent TCP
+// connections with gob framing — the deployment path for multi-machine
+// experiments. Artificial network conditions are not applied here; the
+// in-process Switch is the instrument for controlled-delay studies,
+// while TCP observes the real network.
+type TCP struct {
+	self     types.NodeID
+	listener net.Listener
+	inbox    chan Envelope
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	addrs map[types.NodeID]string
+	peers map[types.NodeID]*tcpPeer
+}
+
+type tcpPeer struct {
+	outbound chan any
+}
+
+// NewTCP starts listening on addrs[self] and returns the transport.
+// Peer connections are dialed lazily by per-peer writer goroutines.
+func NewTCP(self types.NodeID, addrs map[types.NodeID]string) (*TCP, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("network: no address for self %s", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		self:     self,
+		addrs:    make(map[types.NodeID]string, len(addrs)),
+		listener: ln,
+		inbox:    make(chan Envelope, inboxCapacity),
+		done:     make(chan struct{}),
+		peers:    make(map[types.NodeID]*tcpPeer),
+	}
+	for id, a := range addrs {
+		t.addrs[id] = a
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ports).
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// SetPeerAddr updates a peer's dial address — used with ephemeral
+// listen ports, where addresses are only known after every transport
+// has bound. The peer's writer re-dials on its next send.
+func (t *TCP) SetPeerAddr(id types.NodeID, addr string) {
+	t.mu.Lock()
+	t.addrs[id] = addr
+	t.mu.Unlock()
+}
+
+func (t *TCP) peerAddr(id types.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[id]
+	return a, ok
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() { _ = conn.Close() }()
+	// Close the connection when the transport shuts down so the
+	// blocking Decode unblocks.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-t.done:
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+	dec := codec.NewDecoder(conn)
+	for {
+		env, err := dec.Decode()
+		if err != nil {
+			return
+		}
+		select {
+		case t.inbox <- Envelope{From: env.From, Msg: env.Msg}:
+		case <-t.done:
+			return
+		default:
+			// Inbox overflow: drop, like a full socket buffer.
+		}
+	}
+}
+
+// Self implements Transport.
+func (t *TCP) Self() types.NodeID { return t.self }
+
+// Send implements Transport. The message is queued for the peer's
+// writer goroutine; a full queue or connection failure drops it —
+// the same datagram semantics as the in-process switch.
+func (t *TCP) Send(to types.NodeID, msg any) {
+	select {
+	case <-t.done:
+		return
+	default:
+	}
+	peer := t.getPeer(to)
+	if peer == nil {
+		return
+	}
+	select {
+	case peer.outbound <- msg:
+	default:
+		// Peer queue full: drop.
+	}
+}
+
+// getPeer returns (creating if needed) the peer's queue and writer.
+func (t *TCP) getPeer(to types.NodeID) *tcpPeer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	peer, ok := t.peers[to]
+	if !ok {
+		if _, known := t.addrs[to]; !known {
+			return nil
+		}
+		peer = &tcpPeer{outbound: make(chan any, outboundDepth)}
+		t.peers[to] = peer
+		t.wg.Add(1)
+		go t.writeLoop(to, peer)
+	}
+	return peer
+}
+
+// writeLoop drains one peer's queue over a lazily (re)dialed
+// connection.
+func (t *TCP) writeLoop(to types.NodeID, peer *tcpPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var enc *codec.Encoder
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		var msg any
+		select {
+		case <-t.done:
+			return
+		case msg = <-peer.outbound:
+		}
+		if conn == nil {
+			addr, ok := t.peerAddr(to)
+			if !ok {
+				continue
+			}
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				continue // drop; retry dial on next message
+			}
+			conn, enc = c, codec.NewEncoder(c)
+		}
+		if err := enc.Encode(codec.Envelope{From: t.self, Msg: msg}); err != nil {
+			_ = conn.Close()
+			conn, enc = nil, nil
+		}
+	}
+}
+
+// Broadcast implements Transport.
+func (t *TCP) Broadcast(msg any) {
+	t.mu.Lock()
+	ids := make([]types.NodeID, 0, len(t.addrs))
+	for id := range t.addrs {
+		if id != t.self {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.Unlock()
+	for _, id := range ids {
+		t.Send(id, msg)
+	}
+}
+
+// Inbox implements Transport.
+func (t *TCP) Inbox() <-chan Envelope { return t.inbox }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	select {
+	case <-t.done:
+		return nil
+	default:
+	}
+	close(t.done)
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}

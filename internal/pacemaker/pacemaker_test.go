@@ -1,0 +1,161 @@
+package pacemaker
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func TestStartsAtViewOne(t *testing.T) {
+	p := New(time.Hour, 3)
+	if p.CurView() != 1 {
+		t.Fatalf("view = %d, want 1", p.CurView())
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	p := New(20*time.Millisecond, 3)
+	p.Start()
+	defer p.Stop()
+	select {
+	case v := <-p.TimeoutChan():
+		if v != 1 {
+			t.Fatalf("timeout for view %d, want 1", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestTimerRefiresWhileStuck(t *testing.T) {
+	p := New(15*time.Millisecond, 3)
+	p.Start()
+	defer p.Stop()
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-p.TimeoutChan():
+			if v != 1 {
+				t.Fatalf("timeout for view %d, want 1 (stuck)", v)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timer did not re-fire (iteration %d)", i)
+		}
+	}
+}
+
+func TestAdvanceResetsTimer(t *testing.T) {
+	p := New(40*time.Millisecond, 3)
+	p.Start()
+	defer p.Stop()
+	// Keep advancing before the timer can fire.
+	for v := types.View(2); v <= 5; v++ {
+		time.Sleep(10 * time.Millisecond)
+		if !p.AdvanceTo(v) {
+			t.Fatalf("advance to %d failed", v)
+		}
+	}
+	select {
+	case v := <-p.TimeoutChan():
+		t.Fatalf("timer fired for view %d despite steady progress", v)
+	default:
+	}
+	if p.CurView() != 5 {
+		t.Fatalf("view = %d, want 5", p.CurView())
+	}
+}
+
+func TestAdvanceRejectsStale(t *testing.T) {
+	p := New(time.Hour, 3)
+	if !p.AdvanceTo(5) {
+		t.Fatal("advance failed")
+	}
+	if p.AdvanceTo(5) || p.AdvanceTo(3) {
+		t.Fatal("stale advance accepted")
+	}
+	if p.CurView() != 5 {
+		t.Fatalf("view = %d", p.CurView())
+	}
+}
+
+func TestStaleTimerEventSuppressed(t *testing.T) {
+	p := New(25*time.Millisecond, 3)
+	p.Start()
+	defer p.Stop()
+	// Advance immediately; the view-1 timer must not surface.
+	p.AdvanceTo(2)
+	select {
+	case v := <-p.TimeoutChan():
+		if v == 1 {
+			t.Fatal("stale view-1 timeout surfaced after advance")
+		}
+	case <-time.After(60 * time.Millisecond):
+		// View 2's timer fired or not; either way no stale event.
+	}
+}
+
+func TestTCFormation(t *testing.T) {
+	p := New(time.Hour, 3)
+	mk := func(voter types.NodeID, qcView types.View) *types.Timeout {
+		return &types.Timeout{
+			View:   1,
+			Voter:  voter,
+			HighQC: &types.QC{View: qcView},
+			Sig:    []byte{byte(voter)},
+		}
+	}
+	if _, ok := p.OnTimeoutMsg(mk(1, 0)); ok {
+		t.Fatal("TC before quorum")
+	}
+	if _, ok := p.OnTimeoutMsg(mk(2, 5)); ok {
+		t.Fatal("TC before quorum")
+	}
+	tc, ok := p.OnTimeoutMsg(mk(3, 2))
+	if !ok {
+		t.Fatal("no TC at quorum")
+	}
+	if tc.View != 1 || len(tc.Signers) != 3 {
+		t.Fatalf("TC = %+v", tc)
+	}
+	if tc.HighQC == nil || tc.HighQC.View != 5 {
+		t.Fatalf("TC HighQC = %+v, want view 5", tc.HighQC)
+	}
+	// Advancing prunes the old sets.
+	p.AdvanceTo(2)
+	if p.PendingTimeoutSets() != 0 {
+		t.Fatalf("timeout sets leaked: %d", p.PendingTimeoutSets())
+	}
+}
+
+func TestStaleTimeoutMsgIgnored(t *testing.T) {
+	p := New(time.Hour, 2)
+	p.AdvanceTo(10)
+	if _, ok := p.OnTimeoutMsg(&types.Timeout{View: 3, Voter: 1}); ok {
+		t.Fatal("stale timeout formed TC")
+	}
+	if p.PendingTimeoutSets() != 0 {
+		t.Fatal("stale timeout buffered")
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	p := New(15*time.Millisecond, 3)
+	p.Start()
+	p.Stop()
+	select {
+	case <-p.TimeoutChan():
+		t.Fatal("timer fired after Stop")
+	case <-time.After(60 * time.Millisecond):
+	}
+}
+
+func TestZeroTimeoutNeverFires(t *testing.T) {
+	p := New(0, 3)
+	p.Start()
+	defer p.Stop()
+	select {
+	case <-p.TimeoutChan():
+		t.Fatal("zero-timeout pacemaker fired")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

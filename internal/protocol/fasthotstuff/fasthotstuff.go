@@ -1,0 +1,88 @@
+// Package fasthotstuff implements Fast-HotStuff, one of the additional
+// protocols the paper reports building on Bamboo (Section I). It
+// commits with a two-chain of consecutive views like 2CHS but regains
+// optimistic responsiveness: a proposal made after a view change must
+// carry a timeout certificate whose aggregated high-QCs prove the
+// leader extends the freshest certified block any quorum member knew,
+// so honest replicas can vote without waiting a maximum network delay.
+package fasthotstuff
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// FastHotStuff holds hQC, the one-chain lock, and lvView.
+type FastHotStuff struct {
+	env       safety.Env
+	highQC    *types.QC
+	preferred types.View
+	lastVoted types.View
+}
+
+// New constructs the protocol for one replica.
+func New(env safety.Env) safety.Rules {
+	return &FastHotStuff{env: env, highQC: types.GenesisQC()}
+}
+
+// Propose builds on the highest QC.
+func (f *FastHotStuff) Propose(view types.View, payload []types.Transaction) *types.Block {
+	return safety.BuildBlock(f.env.Self, view, f.highQC, payload)
+}
+
+// VoteRule: in the happy path the proposal must directly extend the
+// previous view's certified block (no gaps). After a view change the
+// proposal must be justified by a TC and extend a block at least as
+// fresh as the TC's aggregated high-QC.
+func (f *FastHotStuff) VoteRule(b *types.Block, tc *types.TC) bool {
+	if b.View <= f.lastVoted || b.QC == nil {
+		return false
+	}
+	if tc != nil {
+		if tc.View+1 != b.View {
+			return false
+		}
+		if tc.HighQC != nil && b.QC.View < tc.HighQC.View {
+			return false
+		}
+	} else if b.QC.View+1 != b.View {
+		return false
+	}
+	f.lastVoted = b.View
+	return true
+}
+
+// UpdateState adopts a fresher hQC and locks on the certified block.
+func (f *FastHotStuff) UpdateState(qc *types.QC) {
+	if qc.View <= f.highQC.View {
+		return
+	}
+	f.highQC = qc
+	if qc.View > f.preferred {
+		f.preferred = qc.View
+	}
+}
+
+// CommitRule is the two-chain rule with consecutive views.
+func (f *FastHotStuff) CommitRule(qc *types.QC) *types.Block {
+	b, ok := f.env.Forest.Block(qc.BlockID)
+	if !ok {
+		return nil
+	}
+	parent, ok := f.env.Forest.Parent(b.ID())
+	if !ok {
+		return nil
+	}
+	if parent.View+1 == qc.View {
+		return parent
+	}
+	return nil
+}
+
+// HighQC implements safety.Rules.
+func (f *FastHotStuff) HighQC() *types.QC { return f.highQC }
+
+// Policy: responsive thanks to the aggregated-QC justification.
+func (f *FastHotStuff) Policy() safety.Policy {
+	return safety.Policy{ResponsiveDefault: true}
+}

@@ -1,0 +1,121 @@
+package fasthotstuff
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func fixture(t *testing.T, n int) (*FastHotStuff, *forest.Forest, []*types.Block) {
+	t.Helper()
+	f := forest.New(8)
+	fhs, ok := New(safety.Env{Forest: f, Self: 1, N: 4}).(*FastHotStuff)
+	if !ok {
+		t.Fatal("New did not return *FastHotStuff")
+	}
+	parentQC := types.GenesisQC()
+	blocks := make([]*types.Block, 0, n)
+	for v := types.View(1); v <= types.View(n); v++ {
+		b := safety.BuildBlock(2, v, parentQC, nil)
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		qc := &types.QC{View: v, BlockID: b.ID()}
+		f.Certify(qc)
+		fhs.UpdateState(qc)
+		blocks = append(blocks, b)
+		parentQC = qc
+	}
+	return fhs, f, blocks
+}
+
+func TestHappyPathRequiresDirectExtension(t *testing.T) {
+	fhs, _, blocks := fixture(t, 2)
+	// Direct extension of the previous view: accepted.
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	good := safety.BuildBlock(2, 3, qc2, nil)
+	if !fhs.VoteRule(good, nil) {
+		t.Fatal("direct extension rejected")
+	}
+	// A gap without TC justification: refused (this is what makes
+	// Fast-HotStuff's two-chain commit safe under responsiveness).
+	gap := safety.BuildBlock(2, 9, qc2, nil)
+	if fhs.VoteRule(gap, nil) {
+		t.Fatal("gap proposal accepted without a TC")
+	}
+}
+
+func TestTCJustifiedGap(t *testing.T) {
+	fhs, _, blocks := fixture(t, 2)
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	tc := &types.TC{View: 3, HighQC: qc2}
+	// TC for view 3 justifies a view-4 proposal extending qc2 (the
+	// freshest certificate any quorum member reported).
+	b4 := safety.BuildBlock(2, 4, qc2, nil)
+	if !fhs.VoteRule(b4, tc) {
+		t.Fatal("TC-justified proposal rejected")
+	}
+	// Wrong view relative to the TC: refused.
+	fhs2, _, blocks2 := fixture(t, 2)
+	qc2b := &types.QC{View: 2, BlockID: blocks2[1].ID()}
+	b5 := safety.BuildBlock(2, 5, qc2b, nil)
+	if fhs2.VoteRule(b5, &types.TC{View: 3, HighQC: qc2b}) {
+		t.Fatal("TC view mismatch accepted")
+	}
+	// Extending something older than the TC's high QC: refused.
+	fhs3, _, blocks3 := fixture(t, 2)
+	qc1 := &types.QC{View: 1, BlockID: blocks3[0].ID()}
+	qc2c := &types.QC{View: 2, BlockID: blocks3[1].ID()}
+	stale := safety.BuildBlock(2, 4, qc1, nil)
+	if fhs3.VoteRule(stale, &types.TC{View: 3, HighQC: qc2c}) {
+		t.Fatal("proposal below the TC's high QC accepted")
+	}
+}
+
+func TestCommitTwoChain(t *testing.T) {
+	fhs, _, blocks := fixture(t, 2)
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	got := fhs.CommitRule(qc2)
+	if got == nil || got.ID() != blocks[0].ID() {
+		t.Fatalf("two-chain commit = %v, want view-1 block", got)
+	}
+	// Gap: no commit.
+	fhs2, f2, blocks2 := fixture(t, 2)
+	qc2b := &types.QC{View: 2, BlockID: blocks2[1].ID()}
+	b5 := safety.BuildBlock(2, 5, qc2b, nil)
+	if _, err := f2.Add(b5); err != nil {
+		t.Fatal(err)
+	}
+	qc5 := &types.QC{View: 5, BlockID: b5.ID()}
+	f2.Certify(qc5)
+	if got := fhs2.CommitRule(qc5); got != nil {
+		t.Fatalf("gap committed %v", got)
+	}
+}
+
+func TestVoteMonotonicAndState(t *testing.T) {
+	fhs, _, blocks := fixture(t, 2)
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	if !fhs.VoteRule(safety.BuildBlock(2, 3, qc2, nil), nil) {
+		t.Fatal("valid vote rejected")
+	}
+	if fhs.VoteRule(safety.BuildBlock(3, 3, qc2, nil), nil) {
+		t.Fatal("double vote")
+	}
+	fhs.UpdateState(&types.QC{View: 1, BlockID: blocks[0].ID()})
+	if fhs.HighQC().View != 2 {
+		t.Fatal("stale QC regressed highQC")
+	}
+	if fhs.VoteRule(&types.Block{View: 9}, nil) {
+		t.Fatal("vote without certificate")
+	}
+}
+
+func TestPolicyResponsive(t *testing.T) {
+	fhs, _, _ := fixture(t, 1)
+	if !fhs.Policy().ResponsiveDefault {
+		t.Fatal("Fast-HotStuff must be responsive")
+	}
+}

@@ -1,0 +1,95 @@
+// Package hotstuff implements chained HotStuff (Section II-B): the
+// three-chain commit rule with consecutive views, a lock on the head
+// of the highest two-chain, and optimistic responsiveness. It is the
+// linear-message-complexity representative of the paper's comparison.
+package hotstuff
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// HotStuff holds the protocol state variables of Section II-B:
+// the highest QC (hQC), the lock expressed as a preferred view
+// (the view of the head of the highest two-chain), and the last
+// voted view (lvView).
+type HotStuff struct {
+	env       safety.Env
+	highQC    *types.QC
+	preferred types.View
+	lastVoted types.View
+}
+
+// New constructs the protocol for one replica.
+func New(env safety.Env) safety.Rules {
+	return &HotStuff{env: env, highQC: types.GenesisQC()}
+}
+
+// Propose implements the Proposing rule: build on the highest QC.
+func (h *HotStuff) Propose(view types.View, payload []types.Transaction) *types.Block {
+	return safety.BuildBlock(h.env.Self, view, h.highQC, payload)
+}
+
+// VoteRule implements the Voting rule: vote for b iff its view is
+// beyond the last voted view and it extends the locked block — or its
+// parent carries a view at least as high as the lock (the liveness
+// disjunct). Because b.QC certifies b's parent, the parent's view is
+// b.QC.View; the engine has already verified the certificate.
+func (h *HotStuff) VoteRule(b *types.Block, _ *types.TC) bool {
+	if b.View <= h.lastVoted {
+		return false
+	}
+	if b.QC == nil || b.QC.View < h.preferred {
+		return false
+	}
+	h.lastVoted = b.View
+	return true
+}
+
+// UpdateState implements the State Updating rule: adopt a fresher
+// hQC, and raise the lock to the head of the highest two-chain — the
+// parent of the newly certified block.
+func (h *HotStuff) UpdateState(qc *types.QC) {
+	if qc.View <= h.highQC.View {
+		return
+	}
+	h.highQC = qc
+	// The certified block's parent is the head of a two-chain;
+	// its view is recorded in the certified block's own QC.
+	if b, ok := h.env.Forest.Block(qc.BlockID); ok && b.QC != nil {
+		if b.QC.View > h.preferred {
+			h.preferred = b.QC.View
+		}
+	}
+}
+
+// CommitRule implements the three-chain commit rule with consecutive
+// views: certifying a block at view v commits its grandparent when the
+// three blocks sit at views v−2, v−1, v.
+func (h *HotStuff) CommitRule(qc *types.QC) *types.Block {
+	b, ok := h.env.Forest.Block(qc.BlockID)
+	if !ok {
+		return nil
+	}
+	parent, ok := h.env.Forest.Parent(b.ID())
+	if !ok {
+		return nil
+	}
+	grand, ok := h.env.Forest.Parent(parent.ID())
+	if !ok {
+		return nil
+	}
+	if grand.View+1 == parent.View && parent.View+1 == qc.View {
+		return grand
+	}
+	return nil
+}
+
+// Policy implements safety.Rules.
+func (h *HotStuff) Policy() safety.Policy {
+	return safety.Policy{ResponsiveDefault: true}
+}
+
+// HighQC exposes the current highest QC (used by the engine when
+// broadcasting timeouts and by the Byzantine strategy wrappers).
+func (h *HotStuff) HighQC() *types.QC { return h.highQC }

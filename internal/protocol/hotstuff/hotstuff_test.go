@@ -1,0 +1,171 @@
+package hotstuff
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// fixture builds a protocol instance over a fresh forest with a chain
+// of `n` certified blocks at consecutive views starting at 1.
+func fixture(t *testing.T, n int) (*HotStuff, *forest.Forest, []*types.Block) {
+	t.Helper()
+	f := forest.New(8)
+	hs, ok := New(safety.Env{Forest: f, Self: 1, N: 4}).(*HotStuff)
+	if !ok {
+		t.Fatal("New did not return *HotStuff")
+	}
+	parent := types.Genesis()
+	parentQC := types.GenesisQC()
+	blocks := make([]*types.Block, 0, n)
+	for v := types.View(1); v <= types.View(n); v++ {
+		b := safety.BuildBlock(2, v, parentQC, nil)
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		qc := &types.QC{View: v, BlockID: b.ID()}
+		f.Certify(qc)
+		hs.UpdateState(qc)
+		blocks = append(blocks, b)
+		parent, parentQC = b, qc
+	}
+	_ = parent
+	return hs, f, blocks
+}
+
+func TestProposeExtendsHighQC(t *testing.T) {
+	hs, _, blocks := fixture(t, 3)
+	b := hs.Propose(4, []types.Transaction{{ID: types.TxID{Client: 1, Seq: 1}}})
+	if b == nil {
+		t.Fatal("honest proposer must propose")
+	}
+	if b.Parent != blocks[2].ID() {
+		t.Fatalf("proposal extends %s, want the highest certified block", b.Parent)
+	}
+	if b.QC.View != 3 {
+		t.Fatalf("proposal QC view = %d, want 3", b.QC.View)
+	}
+	if b.View != 4 || b.Proposer != 1 {
+		t.Fatalf("proposal header wrong: %+v", b)
+	}
+}
+
+func TestVoteRuleMonotonicLastVoted(t *testing.T) {
+	hs, _, blocks := fixture(t, 3)
+	qc3 := &types.QC{View: 3, BlockID: blocks[2].ID()}
+	b4 := safety.BuildBlock(2, 4, qc3, nil)
+	if !hs.VoteRule(b4, nil) {
+		t.Fatal("valid proposal rejected")
+	}
+	// Same view again: lastVoted forbids a second vote.
+	b4dup := safety.BuildBlock(3, 4, qc3, nil)
+	if hs.VoteRule(b4dup, nil) {
+		t.Fatal("double vote in one view")
+	}
+	// Lower view after voting higher: refused.
+	b3 := safety.BuildBlock(2, 3, &types.QC{View: 2, BlockID: blocks[1].ID()}, nil)
+	if hs.VoteRule(b3, nil) {
+		t.Fatal("voted for an older view")
+	}
+}
+
+func TestVoteRuleEnforcesLock(t *testing.T) {
+	hs, _, blocks := fixture(t, 4)
+	// After certifying view 4, the lock (two-chain head) is view 3's
+	// parent... preferred = parent of certified block = view 3.
+	// A proposal extending view 2 violates the lock.
+	staleQC := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	b := safety.BuildBlock(2, 5, staleQC, nil)
+	if hs.VoteRule(b, nil) {
+		t.Fatal("vote rule accepted a proposal below the lock")
+	}
+	// Extending the locked view itself is fine (the ≥ disjunct).
+	okQC := &types.QC{View: 3, BlockID: blocks[2].ID()}
+	b2 := safety.BuildBlock(2, 5, okQC, nil)
+	if !hs.VoteRule(b2, nil) {
+		t.Fatal("vote rule rejected a proposal meeting the lock")
+	}
+	if hs.VoteRule(&types.Block{View: 9}, nil) {
+		t.Fatal("accepted proposal without certificate")
+	}
+}
+
+func TestUpdateStateMonotonic(t *testing.T) {
+	hs, _, blocks := fixture(t, 3)
+	if hs.HighQC().View != 3 {
+		t.Fatalf("highQC view = %d", hs.HighQC().View)
+	}
+	// A stale certificate must not regress state.
+	hs.UpdateState(&types.QC{View: 1, BlockID: blocks[0].ID()})
+	if hs.HighQC().View != 3 {
+		t.Fatal("stale QC regressed highQC")
+	}
+	if hs.preferred != 2 {
+		t.Fatalf("preferred = %d, want 2 (parent of view-3 block)", hs.preferred)
+	}
+}
+
+func TestCommitRuleConsecutiveThreeChain(t *testing.T) {
+	hs, _, blocks := fixture(t, 3)
+	// Views 1,2,3 consecutive: certifying 3 commits the grandparent 1.
+	qc3 := &types.QC{View: 3, BlockID: blocks[2].ID()}
+	got := hs.CommitRule(qc3)
+	if got == nil || got.ID() != blocks[0].ID() {
+		t.Fatalf("three-chain commit = %v, want block at view 1", got)
+	}
+}
+
+func TestCommitRuleRejectsGaps(t *testing.T) {
+	hs, f, blocks := fixture(t, 2)
+	// Build view 5 on view 2: chain 1←2←5 has a gap.
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	b5 := safety.BuildBlock(2, 5, qc2, nil)
+	if _, err := f.Add(b5); err != nil {
+		t.Fatal(err)
+	}
+	qc5 := &types.QC{View: 5, BlockID: b5.ID()}
+	f.Certify(qc5)
+	hs.UpdateState(qc5)
+	if got := hs.CommitRule(qc5); got != nil {
+		t.Fatalf("gap chain committed %v", got)
+	}
+	// Continue 6 and 7 on top: 5,6,7 consecutive commits 5.
+	qc := qc5
+	var blocks567 []*types.Block
+	for v := types.View(6); v <= 7; v++ {
+		b := safety.BuildBlock(2, v, qc, nil)
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		qc = &types.QC{View: v, BlockID: b.ID()}
+		f.Certify(qc)
+		hs.UpdateState(qc)
+		blocks567 = append(blocks567, b)
+	}
+	got := hs.CommitRule(qc)
+	if got == nil || got.ID() != b5.ID() {
+		t.Fatalf("consecutive run after gap must commit its head, got %v", got)
+	}
+	_ = blocks567
+}
+
+func TestCommitRuleMissingBlocks(t *testing.T) {
+	hs, _, _ := fixture(t, 1)
+	if hs.CommitRule(&types.QC{View: 9, BlockID: types.Hash{9}}) != nil {
+		t.Fatal("commit for unknown block")
+	}
+	// Genesis has no grandparent: nothing to commit.
+	if hs.CommitRule(types.GenesisQC()) != nil {
+		t.Fatal("commit at genesis")
+	}
+}
+
+func TestPolicyResponsive(t *testing.T) {
+	hs, _, _ := fixture(t, 1)
+	p := hs.Policy()
+	if !p.ResponsiveDefault || p.BroadcastVote || p.EchoMessages || p.LightweightPool {
+		t.Fatalf("policy = %+v", p)
+	}
+}

@@ -1,0 +1,51 @@
+// Package ohs is the baseline stand-in for the original C++ HotStuff
+// implementation (libhotstuff) that Figure 9 of the paper compares
+// against. The consensus rules are chained HotStuff, identical to
+// internal/protocol/hotstuff; what differs is the client path: OHS
+// accepts requests over raw TCP with no REST layer and uses a leaner
+// batching pipeline, which the paper credits for its slight edge. Here
+// that is modelled by the LightweightPool policy — the engine skips
+// mempool duplicate tracking and its hashing overhead for this
+// protocol. See DESIGN.md §2 for the substitution rationale.
+package ohs
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/protocol/hotstuff"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// OHS wraps the chained-HotStuff rules with the lightweight client
+// path policy.
+type OHS struct {
+	inner safety.Rules
+}
+
+// New constructs the baseline for one replica.
+func New(env safety.Env) safety.Rules {
+	return &OHS{inner: hotstuff.New(env)}
+}
+
+// Propose implements safety.Rules.
+func (o *OHS) Propose(view types.View, payload []types.Transaction) *types.Block {
+	return o.inner.Propose(view, payload)
+}
+
+// VoteRule implements safety.Rules.
+func (o *OHS) VoteRule(b *types.Block, tc *types.TC) bool { return o.inner.VoteRule(b, tc) }
+
+// UpdateState implements safety.Rules.
+func (o *OHS) UpdateState(qc *types.QC) { o.inner.UpdateState(qc) }
+
+// CommitRule implements safety.Rules.
+func (o *OHS) CommitRule(qc *types.QC) *types.Block { return o.inner.CommitRule(qc) }
+
+// HighQC implements safety.Rules.
+func (o *OHS) HighQC() *types.QC { return o.inner.HighQC() }
+
+// Policy implements safety.Rules.
+func (o *OHS) Policy() safety.Policy {
+	p := o.inner.Policy()
+	p.LightweightPool = true
+	return p
+}

@@ -1,0 +1,54 @@
+package ohs
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func newOHS(t *testing.T) safety.Rules {
+	t.Helper()
+	return New(safety.Env{Forest: forest.New(8), Self: 1, N: 4})
+}
+
+// TestDelegatesToHotStuff: OHS is chained HotStuff plus a client-path
+// policy; the consensus rules must behave identically.
+func TestDelegatesToHotStuff(t *testing.T) {
+	o := newOHS(t)
+	b := o.Propose(1, nil)
+	if b == nil || b.QC.View != 0 || b.Parent != types.Genesis().ID() {
+		t.Fatalf("proposal = %+v", b)
+	}
+	if !o.VoteRule(b, nil) {
+		t.Fatal("genesis extension rejected")
+	}
+	if o.VoteRule(b, nil) {
+		t.Fatal("double vote accepted")
+	}
+	if o.HighQC().View != 0 {
+		t.Fatal("initial highQC must be genesis")
+	}
+	o.UpdateState(&types.QC{View: 5, BlockID: types.Hash{5}})
+	if o.HighQC().View != 5 {
+		t.Fatal("UpdateState not delegated")
+	}
+	if o.CommitRule(types.GenesisQC()) != nil {
+		t.Fatal("commit at genesis")
+	}
+}
+
+// TestPolicyLightweightPool pins the baseline's differentiator.
+func TestPolicyLightweightPool(t *testing.T) {
+	p := newOHS(t).Policy()
+	if !p.LightweightPool {
+		t.Fatal("OHS must use the lightweight client path")
+	}
+	if !p.ResponsiveDefault {
+		t.Fatal("OHS inherits HotStuff's responsiveness")
+	}
+	if p.BroadcastVote || p.EchoMessages {
+		t.Fatalf("unexpected policy bits: %+v", p)
+	}
+}

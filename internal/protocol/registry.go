@@ -1,0 +1,69 @@
+// Package protocol maps protocol names from the run configuration to
+// their safety.Rules factories — the registry developers extend when
+// prototyping a new chained-BFT protocol on Bamboo.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/protocol/fasthotstuff"
+	"github.com/bamboo-bft/bamboo/internal/protocol/hotstuff"
+	"github.com/bamboo-bft/bamboo/internal/protocol/ohs"
+	"github.com/bamboo-bft/bamboo/internal/protocol/streamlet"
+	"github.com/bamboo-bft/bamboo/internal/protocol/twochain"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]safety.Factory{
+		config.ProtocolHotStuff:     hotstuff.New,
+		config.ProtocolTwoChainHS:   twochain.New,
+		config.ProtocolStreamlet:    streamlet.New,
+		config.ProtocolFastHotStuff: fasthotstuff.New,
+		config.ProtocolOHS:          ohs.New,
+	}
+)
+
+// Factory resolves a protocol name (a config.Protocol* constant or a
+// name added with Register) to its constructor.
+func Factory(name string) (safety.Factory, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %q", name)
+	}
+	return f, nil
+}
+
+// Register adds a custom protocol so clusters can be configured with
+// its name — the prototyping entry point Bamboo exists for. Built-in
+// names cannot be overridden.
+func Register(name string, factory safety.Factory) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("protocol: invalid registration for %q", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("protocol: %q already registered", name)
+	}
+	registry[name] = factory
+	return nil
+}
+
+// Names lists every registered protocol, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,94 @@
+// Package streamlet implements Streamlet (Section II-D) on the Bamboo
+// engine: propose on the longest notarized chain, vote (by broadcast)
+// only for the first proposal of a view that extends a longest
+// notarized chain, and commit the first two of any three blocks
+// notarized in consecutive views. Every first-seen message is echoed,
+// giving the O(n³) message complexity the paper measures.
+//
+// Per the paper's modification, the original synchronized 2∆ clock is
+// replaced by the shared pacemaker, so all three protocols ride the
+// same view-synchronization machinery.
+package streamlet
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Streamlet's state is the notarized chain maintained in the block
+// forest; the only local variable is the last voted view.
+type Streamlet struct {
+	env       safety.Env
+	lastVoted types.View
+}
+
+// New constructs the protocol for one replica.
+func New(env safety.Env) safety.Rules {
+	return &Streamlet{env: env}
+}
+
+// Propose builds on the tip of the longest notarized chain.
+func (s *Streamlet) Propose(view types.View, payload []types.Transaction) *types.Block {
+	return safety.BuildBlock(s.env.Self, view, s.HighQC(), payload)
+}
+
+// VoteRule votes for the first proposal of a view, only if the block
+// extends the longest notarized chain this replica has seen.
+func (s *Streamlet) VoteRule(b *types.Block, _ *types.TC) bool {
+	if b.View <= s.lastVoted {
+		return false
+	}
+	if !s.env.Forest.ExtendsNotarized(b) {
+		return false
+	}
+	s.lastVoted = b.View
+	return true
+}
+
+// UpdateState is a no-op beyond the forest's own notarization
+// bookkeeping: the engine certifies blocks in the forest before
+// invoking the rules, and the forest maintains the longest notarized
+// chain (the protocol's entire state).
+func (s *Streamlet) UpdateState(*types.QC) {}
+
+// CommitRule: when three blocks notarized in consecutive views form a
+// chain, the first two (and all their ancestors) commit. Committing
+// the middle block commits the first one as part of its prefix.
+func (s *Streamlet) CommitRule(qc *types.QC) *types.Block {
+	b, ok := s.env.Forest.Block(qc.BlockID)
+	if !ok || !s.env.Forest.IsCertified(b.ID()) {
+		return nil
+	}
+	parent, ok := s.env.Forest.Parent(b.ID())
+	if !ok || !s.env.Forest.IsCertified(parent.ID()) {
+		return nil
+	}
+	grand, ok := s.env.Forest.Parent(parent.ID())
+	if !ok || !s.env.Forest.IsCertified(grand.ID()) {
+		return nil
+	}
+	if grand.View+1 == parent.View && parent.View+1 == b.View {
+		return parent
+	}
+	return nil
+}
+
+// HighQC returns the certificate of the longest notarized tip — what
+// an honest Streamlet proposal extends.
+func (s *Streamlet) HighQC() *types.QC {
+	tip := s.env.Forest.LongestNotarizedTip()
+	if qc, ok := s.env.Forest.QCOf(tip.ID()); ok {
+		return qc
+	}
+	return types.GenesisQC()
+}
+
+// Policy: votes are broadcast, messages echoed, and liveness depends
+// on timeouts (no optimistic responsiveness).
+func (s *Streamlet) Policy() safety.Policy {
+	return safety.Policy{
+		BroadcastVote:     true,
+		EchoMessages:      true,
+		ResponsiveDefault: false,
+	}
+}

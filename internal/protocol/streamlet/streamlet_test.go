@@ -1,0 +1,135 @@
+package streamlet
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func fixture(t *testing.T, n int) (*Streamlet, *forest.Forest, []*types.Block) {
+	t.Helper()
+	f := forest.New(8)
+	sl, ok := New(safety.Env{Forest: f, Self: 1, N: 4}).(*Streamlet)
+	if !ok {
+		t.Fatal("New did not return *Streamlet")
+	}
+	parentQC := types.GenesisQC()
+	blocks := make([]*types.Block, 0, n)
+	for v := types.View(1); v <= types.View(n); v++ {
+		b := safety.BuildBlock(2, v, parentQC, nil)
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		qc := &types.QC{View: v, BlockID: b.ID()}
+		f.Certify(qc)
+		sl.UpdateState(qc)
+		blocks = append(blocks, b)
+		parentQC = qc
+	}
+	return sl, f, blocks
+}
+
+func TestProposeOnLongestNotarized(t *testing.T) {
+	sl, _, blocks := fixture(t, 3)
+	b := sl.Propose(4, nil)
+	if b.Parent != blocks[2].ID() {
+		t.Fatalf("proposal extends %s, want the notarized tip", b.Parent)
+	}
+	if sl.HighQC().BlockID != blocks[2].ID() {
+		t.Fatal("HighQC must certify the notarized tip")
+	}
+}
+
+func TestVoteOnlyOnLongestNotarized(t *testing.T) {
+	sl, f, blocks := fixture(t, 3)
+	// Extending the tip: accepted.
+	tipQC := &types.QC{View: 3, BlockID: blocks[2].ID()}
+	good := safety.BuildBlock(2, 4, tipQC, nil)
+	if _, err := f.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	if !sl.VoteRule(good, nil) {
+		t.Fatal("vote on longest notarized chain rejected")
+	}
+	// Extending a shorter notarized chain (a forking attacker's
+	// proposal): refused — this is Streamlet's forking immunity.
+	shortQC := &types.QC{View: 1, BlockID: blocks[0].ID()}
+	fork := safety.BuildBlock(2, 5, shortQC, nil)
+	if _, err := f.Add(fork); err != nil {
+		t.Fatal(err)
+	}
+	if sl.VoteRule(fork, nil) {
+		t.Fatal("voted for a fork off a shorter notarized chain")
+	}
+}
+
+func TestVoteFirstProposalPerView(t *testing.T) {
+	sl, f, blocks := fixture(t, 1)
+	qc1 := &types.QC{View: 1, BlockID: blocks[0].ID()}
+	a := safety.BuildBlock(2, 2, qc1, nil)
+	if _, err := f.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if !sl.VoteRule(a, nil) {
+		t.Fatal("first proposal rejected")
+	}
+	// A second (equivocating) proposal for the same view: refused.
+	b := safety.BuildBlock(2, 2, qc1, []types.Transaction{{ID: types.TxID{Client: 9, Seq: 9}}})
+	if _, err := f.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if sl.VoteRule(b, nil) {
+		t.Fatal("voted twice in one view")
+	}
+}
+
+func TestCommitThreeConsecutiveNotarized(t *testing.T) {
+	sl, _, blocks := fixture(t, 3)
+	// Views 1,2,3 all notarized: the middle block (view 2) commits —
+	// "the first two blocks out of the three" commit and committing
+	// the second carries the first as its prefix.
+	qc3 := &types.QC{View: 3, BlockID: blocks[2].ID()}
+	got := sl.CommitRule(qc3)
+	if got == nil || got.ID() != blocks[1].ID() {
+		t.Fatalf("commit = %v, want the view-2 block", got)
+	}
+}
+
+func TestCommitNeedsConsecutiveViews(t *testing.T) {
+	sl, f, blocks := fixture(t, 2)
+	// Notarize view 5 on top of view 2: 1,2,5 not consecutive.
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	b5 := safety.BuildBlock(2, 5, qc2, nil)
+	if _, err := f.Add(b5); err != nil {
+		t.Fatal(err)
+	}
+	qc5 := &types.QC{View: 5, BlockID: b5.ID()}
+	f.Certify(qc5)
+	if got := sl.CommitRule(qc5); got != nil {
+		t.Fatalf("non-consecutive notarizations committed %v", got)
+	}
+}
+
+func TestCommitNeedsFullNotarization(t *testing.T) {
+	sl, f, blocks := fixture(t, 2)
+	// Add a view-3 block but do NOT certify it: no commit on its QC
+	// from the protocol's perspective (the forest hasn't notarized it).
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	b3 := safety.BuildBlock(2, 3, qc2, nil)
+	if _, err := f.Add(b3); err != nil {
+		t.Fatal(err)
+	}
+	if got := sl.CommitRule(&types.QC{View: 3, BlockID: b3.ID()}); got != nil {
+		t.Fatalf("committed with unnotarized tail: %v", got)
+	}
+}
+
+func TestPolicyBroadcastAndEcho(t *testing.T) {
+	sl, _, _ := fixture(t, 1)
+	p := sl.Policy()
+	if !p.BroadcastVote || !p.EchoMessages || p.ResponsiveDefault {
+		t.Fatalf("policy = %+v", p)
+	}
+}

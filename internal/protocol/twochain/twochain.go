@@ -1,0 +1,84 @@
+// Package twochain implements two-chain HotStuff (2CHS, Section II-C):
+// identical to HotStuff except that the lock sits on the head of the
+// highest one-chain (the newly certified block itself) and commitment
+// needs only a two-chain of consecutive views. It trades one round of
+// latency for the loss of optimistic responsiveness, the trade-off the
+// paper's responsiveness experiment (Figure 15) exposes.
+package twochain
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// TwoChain holds hQC, the one-chain lock (preferred view), and lvView.
+type TwoChain struct {
+	env       safety.Env
+	highQC    *types.QC
+	preferred types.View
+	lastVoted types.View
+}
+
+// New constructs the protocol for one replica.
+func New(env safety.Env) safety.Rules {
+	return &TwoChain{env: env, highQC: types.GenesisQC()}
+}
+
+// Propose implements the Proposing rule (same as HotStuff): build on
+// the highest QC.
+func (t *TwoChain) Propose(view types.View, payload []types.Transaction) *types.Block {
+	return safety.BuildBlock(t.env.Self, view, t.highQC, payload)
+}
+
+// VoteRule is HotStuff's voting rule against the one-chain lock: the
+// proposal's parent (certified by b.QC) must carry a view at least as
+// high as the locked view.
+func (t *TwoChain) VoteRule(b *types.Block, _ *types.TC) bool {
+	if b.View <= t.lastVoted {
+		return false
+	}
+	if b.QC == nil || b.QC.View < t.preferred {
+		return false
+	}
+	t.lastVoted = b.View
+	return true
+}
+
+// UpdateState adopts a fresher hQC and locks on the newly certified
+// block itself — the head of the highest one-chain.
+func (t *TwoChain) UpdateState(qc *types.QC) {
+	if qc.View <= t.highQC.View {
+		return
+	}
+	t.highQC = qc
+	if qc.View > t.preferred {
+		t.preferred = qc.View
+	}
+}
+
+// CommitRule implements the two-chain commit rule: certifying a block
+// at view v commits its parent when the parent sits at view v−1.
+func (t *TwoChain) CommitRule(qc *types.QC) *types.Block {
+	b, ok := t.env.Forest.Block(qc.BlockID)
+	if !ok {
+		return nil
+	}
+	parent, ok := t.env.Forest.Parent(b.ID())
+	if !ok {
+		return nil
+	}
+	if parent.View+1 == qc.View {
+		return parent
+	}
+	return nil
+}
+
+// HighQC implements safety.Rules.
+func (t *TwoChain) HighQC() *types.QC { return t.highQC }
+
+// Policy implements safety.Rules: 2CHS is not responsive — after a
+// view change the leader must wait the maximal network delay, because
+// replicas are locked on a one-chain the leader may not have seen.
+func (t *TwoChain) Policy() safety.Policy {
+	return safety.Policy{ResponsiveDefault: false}
+}

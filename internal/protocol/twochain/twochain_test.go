@@ -1,0 +1,108 @@
+package twochain
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func fixture(t *testing.T, n int) (*TwoChain, *forest.Forest, []*types.Block) {
+	t.Helper()
+	f := forest.New(8)
+	tc, ok := New(safety.Env{Forest: f, Self: 1, N: 4}).(*TwoChain)
+	if !ok {
+		t.Fatal("New did not return *TwoChain")
+	}
+	parentQC := types.GenesisQC()
+	blocks := make([]*types.Block, 0, n)
+	for v := types.View(1); v <= types.View(n); v++ {
+		b := safety.BuildBlock(2, v, parentQC, nil)
+		if _, err := f.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		qc := &types.QC{View: v, BlockID: b.ID()}
+		f.Certify(qc)
+		tc.UpdateState(qc)
+		blocks = append(blocks, b)
+		parentQC = qc
+	}
+	return tc, f, blocks
+}
+
+func TestCommitRuleTwoChain(t *testing.T) {
+	tc, _, blocks := fixture(t, 2)
+	// Certifying view 2 commits its parent (view 1): one round
+	// earlier than HotStuff — the protocol's whole selling point.
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	got := tc.CommitRule(qc2)
+	if got == nil || got.ID() != blocks[0].ID() {
+		t.Fatalf("two-chain commit = %v, want view-1 block", got)
+	}
+}
+
+func TestCommitRuleRejectsGap(t *testing.T) {
+	tc, f, blocks := fixture(t, 2)
+	qc2 := &types.QC{View: 2, BlockID: blocks[1].ID()}
+	b5 := safety.BuildBlock(2, 5, qc2, nil)
+	if _, err := f.Add(b5); err != nil {
+		t.Fatal(err)
+	}
+	qc5 := &types.QC{View: 5, BlockID: b5.ID()}
+	f.Certify(qc5)
+	tc.UpdateState(qc5)
+	if got := tc.CommitRule(qc5); got != nil {
+		t.Fatalf("gap chain committed %v", got)
+	}
+}
+
+// TestLockIsOneChainHead pins the paper's distinction: 2CHS locks on
+// the certified block itself (preferred = qc.View), not its parent as
+// HotStuff does.
+func TestLockIsOneChainHead(t *testing.T) {
+	tc, _, blocks := fixture(t, 3)
+	if tc.preferred != 3 {
+		t.Fatalf("preferred = %d, want 3 (the one-chain head)", tc.preferred)
+	}
+	// A proposal extending view 2 violates the lock...
+	b := safety.BuildBlock(2, 4, &types.QC{View: 2, BlockID: blocks[1].ID()}, nil)
+	if tc.VoteRule(b, nil) {
+		t.Fatal("vote below one-chain lock accepted")
+	}
+	// ...extending view 3 satisfies it.
+	b2 := safety.BuildBlock(2, 4, &types.QC{View: 3, BlockID: blocks[2].ID()}, nil)
+	if !tc.VoteRule(b2, nil) {
+		t.Fatal("vote at lock rejected")
+	}
+}
+
+func TestVoteMonotonic(t *testing.T) {
+	tc, _, blocks := fixture(t, 1)
+	qc1 := &types.QC{View: 1, BlockID: blocks[0].ID()}
+	b2 := safety.BuildBlock(2, 2, qc1, nil)
+	if !tc.VoteRule(b2, nil) {
+		t.Fatal("valid vote rejected")
+	}
+	if tc.VoteRule(safety.BuildBlock(3, 2, qc1, nil), nil) {
+		t.Fatal("double vote in one view")
+	}
+	if tc.VoteRule(&types.Block{View: 9}, nil) {
+		t.Fatal("vote without certificate")
+	}
+}
+
+func TestUpdateStateMonotonic(t *testing.T) {
+	tc, _, blocks := fixture(t, 3)
+	tc.UpdateState(&types.QC{View: 1, BlockID: blocks[0].ID()})
+	if tc.HighQC().View != 3 || tc.preferred != 3 {
+		t.Fatalf("stale QC regressed state: high=%d pref=%d", tc.HighQC().View, tc.preferred)
+	}
+}
+
+func TestPolicyNotResponsive(t *testing.T) {
+	tc, _, _ := fixture(t, 1)
+	if tc.Policy().ResponsiveDefault {
+		t.Fatal("2CHS must not be responsive by default")
+	}
+}

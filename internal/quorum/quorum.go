@@ -1,0 +1,160 @@
+// Package quorum aggregates votes into quorum certificates and
+// timeouts into timeout certificates — the paper's Quorum component
+// with its voted()/certified() interfaces.
+//
+// Aggregators are used only by a replica's single-threaded event loop
+// and are therefore unsynchronized.
+package quorum
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// voteKey distinguishes vote sets: one set per (view, block) pair.
+type voteKey struct {
+	view  types.View
+	block types.Hash
+}
+
+// Votes accumulates votes and emits each QC exactly once when the
+// threshold is reached.
+type Votes struct {
+	quorum int
+	sets   map[voteKey]*voteSet
+}
+
+type voteSet struct {
+	sigs    map[types.NodeID][]byte
+	emitted bool
+}
+
+// NewVotes creates an aggregator emitting QCs at the given threshold.
+func NewVotes(quorum int) *Votes {
+	return &Votes{quorum: quorum, sets: make(map[voteKey]*voteSet)}
+}
+
+// Add records a vote. When the vote completes a quorum for its
+// (view, block) pair, Add returns the freshly formed QC and true —
+// exactly once per pair; duplicate voters are ignored.
+func (v *Votes) Add(vote *types.Vote) (*types.QC, bool) {
+	key := voteKey{view: vote.View, block: vote.BlockID}
+	set, ok := v.sets[key]
+	if !ok {
+		set = &voteSet{sigs: make(map[types.NodeID][]byte, v.quorum)}
+		v.sets[key] = set
+	}
+	if _, dup := set.sigs[vote.Voter]; dup {
+		return nil, false
+	}
+	set.sigs[vote.Voter] = vote.Sig
+	if set.emitted || len(set.sigs) < v.quorum {
+		return nil, false
+	}
+	set.emitted = true
+	qc := &types.QC{
+		View:    vote.View,
+		BlockID: vote.BlockID,
+		Signers: make([]types.NodeID, 0, len(set.sigs)),
+		Sigs:    make([][]byte, 0, len(set.sigs)),
+	}
+	for id, sig := range set.sigs {
+		qc.Signers = append(qc.Signers, id)
+		qc.Sigs = append(qc.Sigs, sig)
+	}
+	return qc, true
+}
+
+// Count returns the number of votes recorded for a (view, block) pair.
+func (v *Votes) Count(view types.View, block types.Hash) int {
+	set, ok := v.sets[voteKey{view: view, block: block}]
+	if !ok {
+		return 0
+	}
+	return len(set.sigs)
+}
+
+// Prune discards vote sets from views strictly below the given view;
+// they can no longer form useful certificates.
+func (v *Votes) Prune(below types.View) {
+	for key := range v.sets {
+		if key.view < below {
+			delete(v.sets, key)
+		}
+	}
+}
+
+// Size returns the number of live vote sets (leak detection).
+func (v *Votes) Size() int { return len(v.sets) }
+
+// Timeouts accumulates timeout messages per view and emits each TC
+// exactly once. The TC carries the freshest HighQC among the
+// aggregated timeouts, which is what lets a new leader propose safely
+// right after a view change.
+type Timeouts struct {
+	quorum int
+	sets   map[types.View]*timeoutSet
+}
+
+type timeoutSet struct {
+	sigs    map[types.NodeID][]byte
+	highQC  *types.QC
+	emitted bool
+}
+
+// NewTimeouts creates an aggregator emitting TCs at the threshold.
+func NewTimeouts(quorum int) *Timeouts {
+	return &Timeouts{quorum: quorum, sets: make(map[types.View]*timeoutSet)}
+}
+
+// Add records a timeout. When it completes a quorum for its view, Add
+// returns the TC and true, exactly once per view.
+func (t *Timeouts) Add(to *types.Timeout) (*types.TC, bool) {
+	set, ok := t.sets[to.View]
+	if !ok {
+		set = &timeoutSet{sigs: make(map[types.NodeID][]byte, t.quorum)}
+		t.sets[to.View] = set
+	}
+	if _, dup := set.sigs[to.Voter]; dup {
+		return nil, false
+	}
+	set.sigs[to.Voter] = to.Sig
+	if to.HighQC != nil && (set.highQC == nil || to.HighQC.View > set.highQC.View) {
+		set.highQC = to.HighQC
+	}
+	if set.emitted || len(set.sigs) < t.quorum {
+		return nil, false
+	}
+	set.emitted = true
+	tc := &types.TC{
+		View:    to.View,
+		Signers: make([]types.NodeID, 0, len(set.sigs)),
+		Sigs:    make([][]byte, 0, len(set.sigs)),
+		HighQC:  set.highQC,
+	}
+	for id, sig := range set.sigs {
+		tc.Signers = append(tc.Signers, id)
+		tc.Sigs = append(tc.Sigs, sig)
+	}
+	return tc, true
+}
+
+// Count returns the number of distinct timeouts recorded for a view.
+func (t *Timeouts) Count(view types.View) int {
+	set, ok := t.sets[view]
+	if !ok {
+		return 0
+	}
+	return len(set.sigs)
+}
+
+// Prune discards timeout sets from views strictly below the given view.
+func (t *Timeouts) Prune(below types.View) {
+	for view := range t.sets {
+		if view < below {
+			delete(t.sets, view)
+		}
+	}
+}
+
+// Size returns the number of live timeout sets (leak detection).
+func (t *Timeouts) Size() int { return len(t.sets) }

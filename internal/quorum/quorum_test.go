@@ -1,0 +1,198 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func vote(view types.View, block byte, voter types.NodeID) *types.Vote {
+	return &types.Vote{
+		View:    view,
+		BlockID: types.Hash{block},
+		Voter:   voter,
+		Sig:     []byte{byte(voter)},
+	}
+}
+
+func TestVotesFormQCAtThreshold(t *testing.T) {
+	v := NewVotes(3)
+	if qc, ok := v.Add(vote(1, 1, 1)); ok || qc != nil {
+		t.Fatal("QC before threshold")
+	}
+	if _, ok := v.Add(vote(1, 1, 2)); ok {
+		t.Fatal("QC before threshold")
+	}
+	qc, ok := v.Add(vote(1, 1, 3))
+	if !ok || qc == nil {
+		t.Fatal("no QC at threshold")
+	}
+	if qc.View != 1 || qc.BlockID != (types.Hash{1}) {
+		t.Fatalf("QC fields wrong: %+v", qc)
+	}
+	if len(qc.Signers) != 3 || len(qc.Sigs) != 3 {
+		t.Fatalf("QC arity wrong: %d/%d", len(qc.Signers), len(qc.Sigs))
+	}
+	seen := map[types.NodeID]bool{}
+	for i, id := range qc.Signers {
+		if seen[id] {
+			t.Fatal("duplicate signer in QC")
+		}
+		seen[id] = true
+		if qc.Sigs[i][0] != byte(id) {
+			t.Fatal("signature not aligned with signer")
+		}
+	}
+}
+
+func TestVotesEmitOnce(t *testing.T) {
+	v := NewVotes(3)
+	v.Add(vote(1, 1, 1))
+	v.Add(vote(1, 1, 2))
+	if _, ok := v.Add(vote(1, 1, 3)); !ok {
+		t.Fatal("no QC at threshold")
+	}
+	if _, ok := v.Add(vote(1, 1, 4)); ok {
+		t.Fatal("QC emitted twice")
+	}
+}
+
+func TestVotesDuplicateVoterIgnored(t *testing.T) {
+	v := NewVotes(3)
+	v.Add(vote(1, 1, 1))
+	v.Add(vote(1, 1, 1))
+	if _, ok := v.Add(vote(1, 1, 1)); ok {
+		t.Fatal("duplicate voter filled quorum")
+	}
+	if v.Count(1, types.Hash{1}) != 1 {
+		t.Fatalf("count = %d, want 1", v.Count(1, types.Hash{1}))
+	}
+}
+
+func TestVotesSeparateSetsPerBlockAndView(t *testing.T) {
+	v := NewVotes(2)
+	v.Add(vote(1, 1, 1))
+	v.Add(vote(1, 2, 2)) // different block
+	v.Add(vote(2, 1, 3)) // different view
+	if v.Count(1, types.Hash{1}) != 1 || v.Count(1, types.Hash{2}) != 1 || v.Count(2, types.Hash{1}) != 1 {
+		t.Fatal("vote sets bleed across (view, block) pairs")
+	}
+	// Conflicting-block votes in one view never merge into a QC: a
+	// forking attacker cannot combine votes across its two proposals.
+	if _, ok := v.Add(vote(1, 2, 1)); !ok {
+		t.Fatal("second set should reach its own quorum")
+	}
+}
+
+func TestVotesPrune(t *testing.T) {
+	v := NewVotes(3)
+	for view := types.View(1); view <= 10; view++ {
+		v.Add(vote(view, byte(view), 1))
+	}
+	if v.Size() != 10 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	v.Prune(8)
+	if v.Size() != 3 {
+		t.Fatalf("size after prune = %d, want 3 (views 8,9,10)", v.Size())
+	}
+	if v.Count(7, types.Hash{7}) != 0 {
+		t.Fatal("pruned set still answers")
+	}
+}
+
+func timeout(view types.View, voter types.NodeID, highQCView types.View) *types.Timeout {
+	return &types.Timeout{
+		View:   view,
+		Voter:  voter,
+		HighQC: &types.QC{View: highQCView, BlockID: types.Hash{byte(highQCView)}},
+		Sig:    []byte{byte(voter)},
+	}
+}
+
+func TestTimeoutsFormTC(t *testing.T) {
+	agg := NewTimeouts(3)
+	if _, ok := agg.Add(timeout(5, 1, 2)); ok {
+		t.Fatal("TC before threshold")
+	}
+	if _, ok := agg.Add(timeout(5, 2, 4)); ok {
+		t.Fatal("TC before threshold")
+	}
+	tc, ok := agg.Add(timeout(5, 3, 3))
+	if !ok || tc == nil {
+		t.Fatal("no TC at threshold")
+	}
+	if tc.View != 5 || len(tc.Signers) != 3 {
+		t.Fatalf("TC fields wrong: %+v", tc)
+	}
+	// HighQC must be the freshest among aggregated timeouts (view 4).
+	if tc.HighQC == nil || tc.HighQC.View != 4 {
+		t.Fatalf("TC HighQC = %+v, want view 4", tc.HighQC)
+	}
+}
+
+func TestTimeoutsEmitOnceAndDedup(t *testing.T) {
+	agg := NewTimeouts(2)
+	agg.Add(timeout(5, 1, 1))
+	if _, ok := agg.Add(timeout(5, 1, 1)); ok {
+		t.Fatal("duplicate voter formed TC")
+	}
+	if _, ok := agg.Add(timeout(5, 2, 1)); !ok {
+		t.Fatal("no TC at threshold")
+	}
+	if _, ok := agg.Add(timeout(5, 3, 1)); ok {
+		t.Fatal("TC emitted twice")
+	}
+}
+
+func TestTimeoutsNilHighQC(t *testing.T) {
+	agg := NewTimeouts(2)
+	agg.Add(&types.Timeout{View: 1, Voter: 1})
+	tc, ok := agg.Add(&types.Timeout{View: 1, Voter: 2})
+	if !ok {
+		t.Fatal("no TC")
+	}
+	if tc.HighQC != nil {
+		t.Fatal("HighQC must stay nil when no timeout carried one")
+	}
+}
+
+func TestTimeoutsPrune(t *testing.T) {
+	agg := NewTimeouts(3)
+	for view := types.View(1); view <= 5; view++ {
+		agg.Add(timeout(view, 1, 0))
+	}
+	agg.Prune(4)
+	if agg.Size() != 2 {
+		t.Fatalf("size after prune = %d, want 2", agg.Size())
+	}
+}
+
+// Property: a QC forms if and only if at least `quorum` distinct
+// voters vote for the same (view, block), regardless of arrival order
+// and duplicates.
+func TestQuorumThresholdQuick(t *testing.T) {
+	f := func(voters []uint8) bool {
+		const q = 3
+		v := NewVotes(q)
+		distinct := make(map[types.NodeID]bool)
+		formed := false
+		for _, raw := range voters {
+			id := types.NodeID(raw%6 + 1)
+			distinct[id] = true
+			if _, ok := v.Add(vote(1, 1, id)); ok {
+				formed = true
+				// QC must form exactly when the q-th distinct
+				// voter arrives.
+				if len(distinct) != q {
+					return false
+				}
+			}
+		}
+		return formed == (len(distinct) >= q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package safety defines the interface a chained-BFT protocol
+// implements on top of the Bamboo engine — the shaded blocks of the
+// paper's Figure 4: the Proposing rule, Voting rule, State Updating
+// rule, and Commit rule. The engine (internal/core) supplies
+// everything else: block forest, mempool, pacemaker, quorum
+// aggregation, networking, and benchmarking.
+//
+// A protocol in this framework is therefore a few hundred lines, the
+// same order of magnitude the paper reports (~300 LoC per protocol).
+package safety
+
+import (
+	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Rules is the consensus core of one protocol, driven by a single
+// replica event loop (implementations need no internal locking).
+type Rules interface {
+	// Propose implements the Proposing rule: build the block this
+	// replica proposes for the view, carrying the given payload.
+	// Returning nil means the proposer stays silent for the view —
+	// which is exactly how the silence attack is expressed.
+	Propose(view types.View, payload []types.Transaction) *types.Block
+
+	// VoteRule implements the Voting rule: report whether to vote
+	// for the block. tc, when non-nil, is the timeout certificate
+	// justifying a proposal made right after a view change.
+	// Implementations update their last-voted view when they return
+	// true (the paper's state variable lvView is "updated right
+	// after a vote is sent").
+	VoteRule(b *types.Block, tc *types.TC) bool
+
+	// UpdateState implements the State Updating rule, ingesting a
+	// newly learned quorum certificate.
+	UpdateState(qc *types.QC)
+
+	// CommitRule inspects the chain after qc was learned and
+	// returns the newest block that became committed (committing a
+	// block commits its whole prefix), or nil.
+	CommitRule(qc *types.QC) *types.Block
+
+	// HighQC returns the freshest certificate this protocol would
+	// extend — carried in timeout messages so a new leader can
+	// propose safely, and the anchor the Byzantine forking strategy
+	// walks back from.
+	HighQC() *types.QC
+
+	// Policy reports the protocol's fixed design choices.
+	Policy() Policy
+}
+
+// Policy captures per-protocol design choices the engine must honour.
+type Policy struct {
+	// BroadcastVote sends votes to every replica instead of only
+	// the next leader (Streamlet).
+	BroadcastVote bool
+	// EchoMessages re-broadcasts every first-seen proposal and vote
+	// (Streamlet's O(n³) echoing).
+	EchoMessages bool
+	// ResponsiveDefault is whether the protocol proposes
+	// immediately on a quorum of timeouts after a view change
+	// (HotStuff's optimistic responsiveness) rather than waiting
+	// the maximum network delay. The run configuration may
+	// override it for experiments such as Figure 15.
+	ResponsiveDefault bool
+	// LightweightPool skips mempool duplicate tracking — the
+	// cheaper client path of the original HotStuff (OHS) baseline.
+	LightweightPool bool
+}
+
+// Env is what the engine hands a protocol at construction time.
+type Env struct {
+	// Forest is the replica's block store (shared with the engine).
+	Forest *forest.Forest
+	// Self is this replica's identity.
+	Self types.NodeID
+	// N is the cluster size.
+	N int
+}
+
+// Factory builds a protocol instance for one replica.
+type Factory func(Env) Rules
+
+// BuildBlock assembles a standard proposal extending the block that
+// qc certifies — the common shape of every honest Proposing rule.
+func BuildBlock(self types.NodeID, view types.View, qc *types.QC, payload []types.Transaction) *types.Block {
+	b := &types.Block{
+		View:     view,
+		Proposer: self,
+		Parent:   qc.BlockID,
+		QC:       qc.Clone(),
+		Payload:  payload,
+	}
+	b.ID()
+	return b
+}

@@ -1,0 +1,40 @@
+package safety
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func TestBuildBlock(t *testing.T) {
+	qc := &types.QC{
+		View:    3,
+		BlockID: types.Hash{7},
+		Signers: []types.NodeID{1, 2, 3},
+		Sigs:    [][]byte{{1}, {2}, {3}},
+	}
+	payload := []types.Transaction{{ID: types.TxID{Client: 1, Seq: 9}}}
+	b := BuildBlock(2, 4, qc, payload)
+	if b.View != 4 || b.Proposer != 2 {
+		t.Fatalf("header wrong: %+v", b)
+	}
+	if b.Parent != qc.BlockID {
+		t.Fatal("parent must be the certified block")
+	}
+	if len(b.Payload) != 1 {
+		t.Fatal("payload lost")
+	}
+	// The embedded QC is a clone: mutating it must not reach the
+	// proposer's original (blocks travel across replica boundaries
+	// in-process).
+	b.QC.Signers[0] = 42
+	if qc.Signers[0] != 1 {
+		t.Fatal("BuildBlock shares QC memory with the caller")
+	}
+	// The ID is pre-computed so later mutation cannot change it.
+	id := b.ID()
+	b.View = 99
+	if b.ID() != id {
+		t.Fatal("block ID not pinned at build time")
+	}
+}

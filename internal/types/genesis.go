@@ -1,0 +1,23 @@
+package types
+
+// Genesis returns the canonical genesis block shared by every replica.
+// The genesis block occupies view 0, has no parent, and is considered
+// certified and committed from the start; its QC (see GenesisQC) is
+// what the first real proposal extends.
+func Genesis() *Block {
+	b := &Block{
+		View:     0,
+		Proposer: NoNode,
+		Parent:   ZeroHash,
+		QC:       nil,
+	}
+	b.ID() // pre-compute and cache the hash
+	return b
+}
+
+// GenesisQC returns the implicit quorum certificate for the genesis
+// block. It carries no signatures; verifiers treat view-0 QCs as valid
+// by construction.
+func GenesisQC() *QC {
+	return &QC{View: 0, BlockID: Genesis().ID()}
+}

@@ -1,0 +1,74 @@
+package types
+
+// Message kinds exchanged between replicas and between clients and
+// replicas. The network layer carries them as interface values; the
+// codec registers the concrete types for wire encoding.
+
+// ProposalMsg disseminates a block proposal from the view leader.
+type ProposalMsg struct {
+	Block *Block
+	// TC, if non-nil, justifies proposing after a view change: it
+	// proves a quorum abandoned the previous view.
+	TC *TC
+}
+
+// VoteMsg carries a vote, routed either to the next leader (HotStuff
+// family) or broadcast (Streamlet).
+type VoteMsg struct {
+	Vote *Vote
+}
+
+// TimeoutMsg broadcasts a replica's view timeout.
+type TimeoutMsg struct {
+	Timeout *Timeout
+}
+
+// TCMsg forwards an assembled timeout certificate, in particular to
+// the leader of the next view.
+type TCMsg struct {
+	TC *TC
+}
+
+// RequestMsg submits a transaction from a client to a replica.
+type RequestMsg struct {
+	Tx Transaction
+}
+
+// ReplyMsg confirms to a client that its transaction committed, or —
+// when Rejected is set — that the replica's memory pool refused it.
+type ReplyMsg struct {
+	TxID     TxID
+	View     View
+	BlockID  Hash
+	Rejected bool
+}
+
+// FetchMsg asks a peer for a missing ancestor block — simple catch-up
+// for replicas that missed a proposal (e.g. across a healed partition).
+type FetchMsg struct {
+	BlockID Hash
+}
+
+// QueryMsg asks a replica for local state (committed height, metrics);
+// used by the HTTP API and the benchmarker.
+type QueryMsg struct {
+	// Height, if non-zero, requests the committed block hash at
+	// that height for cross-replica consistency checks.
+	Height uint64
+}
+
+// QueryReplyMsg answers a QueryMsg.
+type QueryReplyMsg struct {
+	CommittedHeight uint64
+	CommittedView   View
+	BlockHash       Hash
+}
+
+// SlowMsg adjusts a replica's artificial message delay at run time
+// (the paper's "slow" command used to simulate network fluctuation).
+type SlowMsg struct {
+	// DelayMeanNanos and DelayStdNanos set the extra outbound
+	// delay distribution; zero clears it.
+	DelayMeanNanos int64
+	DelayStdNanos  int64
+}
