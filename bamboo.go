@@ -53,6 +53,11 @@ type (
 	NodeStatus = core.Status
 	// ChainStats carries the chain micro-metrics (CGR, BI).
 	ChainStats = metrics.ChainStats
+	// PipelineStats carries the per-stage hot-path instrumentation:
+	// verify-queue wait, apply lag, and the digest/batch counters of
+	// the pipelined replica (Config.DigestProposals, AsyncVerify,
+	// AsyncCommit).
+	PipelineStats = metrics.PipelineStats
 	// Store is the in-memory key-value execution layer.
 	Store = kvstore.Store
 	// Ledger is the append-only persistent store of committed

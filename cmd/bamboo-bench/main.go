@@ -42,6 +42,7 @@ var experiments = []struct {
 	{"ablation-batching", "client path / batching", (*bench.Runner).RunAblationBatching},
 	{"ablation-fanout", "client fan-out designs", (*bench.Runner).RunAblationClientFanout},
 	{"ablation-election", "leader-election designs", (*bench.Runner).RunAblationElection},
+	{"pipeline-hotpath", "sync vs pipelined replica hot path", (*bench.Runner).RunPipelineHotPath},
 }
 
 func main() {

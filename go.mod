@@ -1,0 +1,3 @@
+module github.com/bamboo-bft/bamboo
+
+go 1.22

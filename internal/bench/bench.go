@@ -21,6 +21,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/cluster"
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
 	"github.com/bamboo-bft/bamboo/internal/model"
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/types"
@@ -124,6 +125,19 @@ type Point struct {
 	// CGR and BI are the chain micro-metrics over the window.
 	CGR float64
 	BI  float64
+	// Pipeline sums the pipeline stage counters over honest replicas
+	// (all zero when the pipeline stages are disabled).
+	Pipeline metrics.PipelineStats
+}
+
+// measureOpt tunes a measurement run beyond the cluster config.
+type measureOpt struct {
+	// fanout broadcasts each client transaction to every replica —
+	// the data-plane dissemination digest proposals resolve against.
+	fanout bool
+	// stores attaches a kvstore execution layer to every replica so
+	// the commit-apply stage has real work.
+	stores bool
 }
 
 // measure runs one experiment point. If rate > 0 an open-loop Poisson
@@ -131,9 +145,15 @@ type Point struct {
 // closed-loop workers do.
 func (r *Runner) measure(cfg config.Config, concurrency int, rate float64,
 	warm, window time.Duration) (Point, error) {
+	return r.measureWith(cfg, concurrency, rate, warm, window, measureOpt{})
+}
+
+// measureWith is measure with per-run options.
+func (r *Runner) measureWith(cfg config.Config, concurrency int, rate float64,
+	warm, window time.Duration, opt measureOpt) (Point, error) {
 
 	var p Point
-	c, err := cluster.New(cfg, cluster.Options{})
+	c, err := cluster.New(cfg, cluster.Options{WithStores: opt.stores})
 	if err != nil {
 		return p, err
 	}
@@ -143,6 +163,7 @@ func (r *Runner) measure(cfg config.Config, concurrency int, rate float64,
 	if err != nil {
 		return p, err
 	}
+	cl.SetFanout(opt.fanout)
 	if rate > 0 {
 		p.Offered = rate
 		cl.RunOpenLoop(rate)
@@ -164,6 +185,7 @@ func (r *Runner) measure(cfg config.Config, concurrency int, rate float64,
 	p.Throughput = float64(endTx-startTx) / elapsed.Seconds()
 	p.Mean, p.P50, p.P99 = lat.Mean, lat.P50, lat.P99
 	p.CGR, p.BI = chain.CGR, chain.BI
+	p.Pipeline = c.AggregatePipeline()
 	if err := c.ConsistencyCheck(); err != nil {
 		return p, err
 	}

@@ -104,6 +104,7 @@ func TestFigureRunnersSmoke(t *testing.T) {
 		{"ablation-crypto", (*Runner).RunAblationCrypto, []string{"ed25519", "noop"}},
 		{"ablation-routing", (*Runner).RunAblationVoteBroadcast, []string{"msgs/block"}},
 		{"ablation-fanout", (*Runner).RunAblationClientFanout, []string{"single", "broadcast"}},
+		{"pipeline-hotpath", (*Runner).RunPipelineHotPath, []string{"sync", "pipelined", "speedup"}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -122,6 +123,48 @@ func TestFigureRunnersSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPipelineHotPathImproves asserts the refactor's acceptance
+// criterion: digest proposals plus off-loop batch verification beat
+// the synchronous hot path at payload 128 B / block size 400. The
+// comparison runs at a 200 Mbps modeled NIC, where payload
+// dissemination dominates the proposal critical path; one retry damps
+// scheduler noise on busy CI hosts.
+func TestPipelineHotPathImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench comparison skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("throughput comparison meaningless under the race detector")
+	}
+	r, _ := tinyRunner()
+	const bandwidth = 2.5e7 // 200 Mbps
+	warm, window := 500*time.Millisecond, 1500*time.Millisecond
+	for attempt := 1; ; attempt++ {
+		sync, err := r.MeasureHotPath(false, bandwidth, 1024, warm, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := r.MeasureHotPath(true, bandwidth, 1024, warm, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := pipe.Throughput / sync.Throughput
+		t.Logf("attempt %d: sync %.0f tx/s, pipelined %.0f tx/s (%.2fx), resolved=%d fetched=%d",
+			attempt, sync.Throughput, pipe.Throughput, speedup,
+			pipe.Pipeline.DigestResolved, pipe.Pipeline.DigestFetched)
+		if pipe.Throughput > sync.Throughput {
+			if pipe.Pipeline.DigestResolved == 0 {
+				t.Fatal("pipelined run never resolved a digest proposal")
+			}
+			return
+		}
+		if attempt >= 3 {
+			t.Fatalf("pipelined hot path no faster than sync after %d attempts (last %.2fx)",
+				attempt, speedup)
+		}
 	}
 }
 

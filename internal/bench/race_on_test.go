@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary was built with the race
+// detector; throughput comparisons are meaningless under its
+// instrumentation and are skipped.
+const raceEnabled = true

@@ -255,6 +255,32 @@ func (c *Cluster) WaitForHeight(target uint64, timeout time.Duration) error {
 	}
 }
 
+// PipelineStats reports the observer replica's per-stage pipeline
+// instrumentation (verify-queue wait, apply lag, digest fast-path
+// counters) — the replica-side view of where hot-path time goes.
+func (c *Cluster) PipelineStats() metrics.PipelineStats {
+	return c.nodes[c.Observer()].Pipeline().Snapshot()
+}
+
+// AggregatePipeline sums the pipeline stage counters over the honest
+// replicas (latency summaries are per-replica; the observer's are in
+// PipelineStats).
+func (c *Cluster) AggregatePipeline() metrics.PipelineStats {
+	var agg metrics.PipelineStats
+	for _, n := range c.HonestNodes() {
+		s := n.Pipeline().Snapshot()
+		agg.SigsVerified += s.SigsVerified
+		agg.BatchesVerified += s.BatchesVerified
+		agg.BatchFallbacks += s.BatchFallbacks
+		agg.VerifyRejected += s.VerifyRejected
+		agg.InlineVerifies += s.InlineVerifies
+		agg.DigestResolved += s.DigestResolved
+		agg.DigestFetched += s.DigestFetched
+		agg.BlocksApplied += s.BlocksApplied
+	}
+	return agg
+}
+
 // AggregateChain averages the chain micro-metrics (CGR, BI) over the
 // honest replicas, the way the paper reports them "from a replica's
 // view".

@@ -33,6 +33,7 @@ func registerTypes() {
 		gob.Register(types.TCMsg{})
 		gob.Register(types.FetchMsg{})
 		gob.Register(types.RequestMsg{})
+		gob.Register(types.PayloadBatchMsg{})
 		gob.Register(types.ReplyMsg{})
 		gob.Register(types.QueryMsg{})
 		gob.Register(types.QueryReplyMsg{})

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
@@ -14,7 +15,13 @@ import (
 // ID for crafting hostile traffic.
 func startSwitchCluster(t *testing.T, intruder types.NodeID) ([]*Node, *network.Endpoint) {
 	t.Helper()
-	cfg := testCfg()
+	return startSwitchClusterCfg(t, testCfg(), intruder)
+}
+
+// startSwitchClusterCfg is startSwitchCluster with an explicit
+// configuration (pipeline-mode variants).
+func startSwitchClusterCfg(t *testing.T, cfg config.Config, intruder types.NodeID) ([]*Node, *network.Endpoint) {
+	t.Helper()
 	sw := network.NewSwitch(nil)
 	transports := make(map[types.NodeID]network.Transport, cfg.N)
 	for i := 1; i <= cfg.N; i++ {

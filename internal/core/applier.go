@@ -1,0 +1,71 @@
+package core
+
+import (
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// defaultApplyQueue is the staged-commit backlog bound when the
+// configuration leaves ApplyQueue at zero.
+const defaultApplyQueue = 128
+
+// applyJob is one committed block awaiting execution.
+type applyJob struct {
+	block       *types.Block
+	height      uint64
+	committedAt time.Time
+}
+
+// applier is pipeline stage 3: an ordered commit-apply goroutine that
+// runs the Execute hook and the ledger append off the event loop, so
+// block execution no longer stalls voting. The queue is bounded; when
+// execution lags more than ApplyQueue blocks behind consensus, the
+// enqueue blocks the event loop — deliberate backpressure that slows
+// voting instead of growing an unbounded backlog.
+type applier struct {
+	n    *Node
+	jobs chan applyJob
+	done chan struct{}
+}
+
+// newApplier starts the commit-apply goroutine.
+func newApplier(n *Node, queue int) *applier {
+	if queue <= 0 {
+		queue = defaultApplyQueue
+	}
+	a := &applier{n: n, jobs: make(chan applyJob, queue), done: make(chan struct{})}
+	go a.run()
+	return a
+}
+
+// enqueue hands a committed block to the apply stage in commit order.
+// The send blocks when the queue is full; the applier drains
+// independently of the event loop, so this cannot deadlock.
+func (a *applier) enqueue(job applyJob) {
+	a.jobs <- job
+}
+
+// stop drains and joins the apply stage. Call only after the event
+// loop has exited (no more enqueues); every block committed before
+// shutdown is executed before stop returns.
+func (a *applier) stop() {
+	close(a.jobs)
+	<-a.done
+}
+
+// run applies committed blocks in order.
+func (a *applier) run() {
+	defer close(a.done)
+	for job := range a.jobs {
+		if a.n.opts.Ledger != nil {
+			// Persistence is best-effort relative to consensus: the
+			// in-memory chain stays authoritative on append failure.
+			_ = a.n.opts.Ledger.Append(job.block, job.height)
+		}
+		if a.n.opts.Execute != nil {
+			a.n.opts.Execute(job.block.Payload)
+		}
+		a.n.pipeline.OnBlockApplied(time.Since(job.committedAt))
+	}
+}

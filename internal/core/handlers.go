@@ -45,13 +45,33 @@ func (n *Node) propose(view types.View, tc *types.TC) {
 			if altSig, err := n.scheme.Sign(n.id, types.SigningDigest(alt.View, alt.ID())); err == nil {
 				alt.Sig = altSig
 				n.equivocast(msg, types.ProposalMsg{Block: alt, TC: tc})
-				n.onProposal(n.id, msg)
+				n.onProposal(n.id, msg, true)
 				return
 			}
 		}
 	}
-	n.net.Broadcast(msg)
-	n.onProposal(n.id, msg)
+	n.net.Broadcast(n.wireProposal(msg))
+	n.onProposal(n.id, msg, true)
+}
+
+// wireProposal picks the proposal's wire form: in digest mode the
+// payload stays on the data plane — the broadcast carries the payload
+// digest plus ordered transaction IDs, and followers rebuild the batch
+// from their own pools. The OHS lightweight client path keeps full
+// proposals (its pool is not indexed).
+func (n *Node) wireProposal(msg types.ProposalMsg) types.ProposalMsg {
+	if !n.cfg.DigestProposals || n.policy.LightweightPool || len(msg.Block.Payload) == 0 {
+		return msg
+	}
+	// Flush any buffered payload sync first: transactions this block
+	// batched straight off a client arrival must reach follower pools
+	// no later than the digest that references them.
+	n.flushPayloadSync()
+	ids := make([]types.TxID, len(msg.Block.Payload))
+	for i := range msg.Block.Payload {
+		ids[i] = msg.Block.Payload[i].ID
+	}
+	return types.ProposalMsg{Block: msg.Block.StripPayload(), TC: msg.TC, PayloadIDs: ids}
 }
 
 // equivocast sends msgA to the lower half of the replicas and msgB to
@@ -85,10 +105,14 @@ func (n *Node) takePayload() []types.Transaction {
 }
 
 // returnPayload puts an unused batch back at the front of the queue.
+// In digest mode the recovered transactions are re-synced to peers:
+// followers scrubbed them from their pools when the forked block
+// attached, and the coming re-proposal must resolve against something.
 func (n *Node) returnPayload(payload []types.Transaction) {
 	if len(payload) == 0 {
 		return
 	}
+	n.queuePayloadSync(payload)
 	if n.policy.LightweightPool {
 		// Never append into the payload slice: it may share a
 		// backing array with a later block's payload (blocks travel
@@ -109,7 +133,9 @@ func (n *Node) returnPayload(payload []types.Transaction) {
 func (n *Node) stampPayloadOwnership([]types.Transaction) {}
 
 // onProposal handles a block proposal (or a fetched ancestor).
-func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg) {
+// verified means the signatures were already checked — by this
+// replica having produced the message, or by the verification pool.
+func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg, verified bool) {
 	b := m.Block
 	if b == nil || b.QC == nil {
 		return
@@ -119,7 +145,7 @@ func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg) {
 		// Seen already (echo duplicates land here); a TC may still
 		// be news.
 		if m.TC != nil && from != n.id {
-			n.onTC(m.TC, true)
+			n.onTC(m.TC, !verified)
 		}
 		return
 	}
@@ -128,11 +154,19 @@ func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg) {
 	if b.Proposer != n.elect.Leader(b.View) {
 		return
 	}
-	if from != n.id {
+	if !verified {
 		if err := n.scheme.Verify(b.Proposer, types.SigningDigest(b.View, id), b.Sig); err != nil {
 			return
 		}
 		if err := crypto.VerifyQC(n.scheme, b.QC, n.cfg.Quorum()); err != nil {
+			return
+		}
+		// The signed ID covers the payload only through its digest;
+		// a full-payload proposal must actually match that digest, or
+		// a Byzantine proposer could ship one signed ID with
+		// divergent payloads to different replicas. (Digest-only
+		// proposals are checked during resolution instead.)
+		if len(b.Payload) > 0 && types.DigestPayload(b.Payload) != b.PayloadDigest() {
 			return
 		}
 	}
@@ -143,7 +177,20 @@ func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg) {
 		}
 	}
 	if m.TC != nil && from != n.id {
-		n.onTC(m.TC, true)
+		n.onTC(m.TC, !verified)
+	}
+	if m.IsDigest() && from != n.id {
+		// Data-plane resolution: rebuild the payload from the local
+		// pool; on a miss, park the proposal one link delay — the
+		// payload usually races the proposal over the client fan-out
+		// path — before falling back to a fetch.
+		resolved := n.resolveDigest(m)
+		if resolved == nil {
+			n.parkDigest(from, m)
+			return
+		}
+		n.pipeline.OnDigestResolved()
+		b = resolved
 	}
 
 	attached, err := n.forest.Add(b)
@@ -178,6 +225,132 @@ func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg) {
 		if ab == b {
 			n.maybeVote(b, m.TC)
 		}
+	}
+}
+
+// resolveDigest rebuilds a digest proposal's payload from the indexed
+// mempool: first the batch cache (duplicate digests — echoes,
+// retransmissions — cost one map hit), then per-transaction lookup
+// with the digest recomputed over the assembled batch. nil means the
+// payload cannot be resolved locally and the caller must fetch.
+func (n *Node) resolveDigest(m types.ProposalMsg) *types.Block {
+	b := m.Block
+	want := b.PayloadDigest()
+	if payload, ok := n.pool.BatchByDigest(want); ok {
+		return b.WithPayload(payload)
+	}
+	if n.policy.LightweightPool {
+		return nil
+	}
+	payload, missing := n.pool.Resolve(m.PayloadIDs)
+	if len(missing) > 0 {
+		return nil
+	}
+	if types.DigestPayload(payload) != want {
+		return nil
+	}
+	n.pool.CacheBatch(want, payload)
+	return b.WithPayload(payload)
+}
+
+// digestWaitLimit bounds the parked-proposal set; past it, misses go
+// straight to the fetch fallback.
+const digestWaitLimit = 256
+
+// digestRetryMax is how many times a digest proposal re-attempts
+// resolution before fetching the full block.
+const digestRetryMax = 2
+
+// parkDigest holds an unresolvable digest proposal for a short retry.
+// The data plane and the consensus plane race over the same links, so
+// the missing transactions are usually one link delay (or one
+// payload-sync flush) behind the proposal; fetching the full block
+// immediately would waste the digest's entire bandwidth saving on
+// every near-miss. Retries back off geometrically from roughly the
+// link-delay spread up to the sync flush interval.
+func (n *Node) parkDigest(from types.NodeID, m types.ProposalMsg) {
+	id := m.Block.ID()
+	if _, parked := n.digestWait[id]; parked {
+		return // a retry is already scheduled
+	}
+	if len(n.digestWait) >= digestWaitLimit {
+		n.fetchFullBlock(from, m.Block)
+		return
+	}
+	n.digestWait[id] = 0
+	n.scheduleDigestRetry(from, m, 0)
+}
+
+// scheduleDigestRetry arms retry number `attempt` (0-based).
+func (n *Node) scheduleDigestRetry(from types.NodeID, m types.ProposalMsg, attempt int) {
+	delay := n.cfg.Delay + 4*n.cfg.DelayStd
+	if delay < 200*time.Microsecond {
+		delay = 200 * time.Microsecond
+	}
+	delay <<= attempt
+	if delay > 4*payloadSyncInterval {
+		delay = 4 * payloadSyncInterval
+	}
+	time.AfterFunc(delay, func() {
+		select {
+		case n.events <- digestRetryEvent{from: from, msg: m}:
+		case <-n.stopCh:
+		}
+	})
+}
+
+// onDigestRetry re-attempts a parked digest proposal; once the retry
+// budget is spent it falls back to fetching the full block from the
+// sender (the seen-already check in onProposal deduplicates the
+// eventual re-delivery).
+func (n *Node) onDigestRetry(from types.NodeID, m types.ProposalMsg) {
+	id := m.Block.ID()
+	attempt, parked := n.digestWait[id]
+	if !parked {
+		return
+	}
+	if n.forest.Contains(id) {
+		delete(n.digestWait, id)
+		return
+	}
+	if resolved := n.resolveDigest(m); resolved != nil {
+		delete(n.digestWait, id)
+		n.pipeline.OnDigestResolved()
+		// The BLOCK's signatures were verified before it parked, but
+		// the piggybacked TC was only verified on the first pass in
+		// async mode (the pool strips invalid ones). Re-delivering it
+		// as pre-verified would let a TC the sync path rejected back
+		// in unchecked — verify it here before forwarding.
+		tc := m.TC
+		if tc != nil {
+			if crypto.VerifyTC(n.scheme, tc, n.cfg.Quorum()) != nil {
+				tc = nil
+			} else if tc.HighQC != nil && !tc.HighQC.IsGenesis() &&
+				crypto.VerifyQC(n.scheme, tc.HighQC, n.cfg.Quorum()) != nil {
+				tc = nil
+			}
+		}
+		n.onProposal(from, types.ProposalMsg{Block: resolved, TC: tc}, true)
+		return
+	}
+	if attempt+1 < digestRetryMax {
+		n.digestWait[id] = attempt + 1
+		n.scheduleDigestRetry(from, m, attempt+1)
+		return
+	}
+	delete(n.digestWait, id)
+	n.fetchFullBlock(from, m.Block)
+}
+
+// fetchFullBlock requests the full block from the sender and — when
+// the sender is a relay (a Streamlet echoer may itself hold the
+// proposal unresolved) — from the proposer, which built the block and
+// is the one replica guaranteed to have its payload.
+func (n *Node) fetchFullBlock(from types.NodeID, b *types.Block) {
+	n.pipeline.OnDigestFetched()
+	n.net.Send(from, types.FetchMsg{BlockID: b.ID()})
+	if b.Proposer != from && b.Proposer != n.id {
+		n.net.Send(b.Proposer, types.FetchMsg{BlockID: b.ID()})
 	}
 }
 
@@ -226,19 +399,21 @@ func (n *Node) maybeVote(b *types.Block, tc *types.TC) {
 	msg := types.VoteMsg{Vote: vote}
 	if n.policy.BroadcastVote {
 		n.net.Broadcast(msg)
-		n.onVote(n.id, vote)
+		n.onVote(vote, true)
 		return
 	}
 	next := n.elect.Leader(b.View + 1)
 	if next == n.id {
-		n.onVote(n.id, vote)
+		n.onVote(vote, true)
 		return
 	}
 	n.net.Send(next, msg)
 }
 
-// onVote verifies and aggregates a vote; a completed quorum forms a QC.
-func (n *Node) onVote(from types.NodeID, v *types.Vote) {
+// onVote aggregates a vote; a completed quorum forms a QC. verified
+// means the signature was already checked off-loop (or the vote is
+// this replica's own).
+func (n *Node) onVote(v *types.Vote, verified bool) {
 	if v == nil {
 		return
 	}
@@ -246,12 +421,12 @@ func (n *Node) onVote(from types.NodeID, v *types.Vote) {
 	if v.View+4 < cur {
 		return // too old to ever matter
 	}
-	if from != n.id {
+	if !verified {
 		if err := n.scheme.Verify(v.Voter, types.SigningDigest(v.View, v.BlockID), v.Sig); err != nil {
 			return
 		}
 	}
-	if n.policy.EchoMessages && from != n.id {
+	if n.policy.EchoMessages && v.Voter != n.id {
 		key := echoKeyForVote(v)
 		if _, seen := n.echoSeen[key]; !seen {
 			n.rememberEcho(key)
@@ -327,13 +502,20 @@ func (n *Node) commit(target *types.Block) {
 	for _, cb := range res.Committed {
 		height++
 		n.tracker.OnBlockCommitted(cb.View, cur, len(cb.Payload))
-		if n.opts.Ledger != nil {
-			// Persistence is best-effort relative to consensus: the
-			// in-memory chain stays authoritative on append failure.
-			_ = n.opts.Ledger.Append(cb, height)
-		}
-		if n.opts.Execute != nil {
-			n.opts.Execute(cb.Payload)
+		if n.apply != nil {
+			// Stage 3: execution and persistence ride the ordered
+			// commit-apply goroutine so the loop returns to voting.
+			n.apply.enqueue(applyJob{block: cb, height: height, committedAt: now})
+		} else {
+			if n.opts.Ledger != nil {
+				// Persistence is best-effort relative to consensus:
+				// the in-memory chain stays authoritative on append
+				// failure.
+				_ = n.opts.Ledger.Append(cb, height)
+			}
+			if n.opts.Execute != nil {
+				n.opts.Execute(cb.Payload)
+			}
 		}
 		if n.opts.CommitSeries != nil {
 			n.opts.CommitSeries.Add(now, uint64(len(cb.Payload)))
@@ -381,26 +563,30 @@ func (n *Node) broadcastTimeout(view types.View) {
 	}
 	t := &types.Timeout{View: view, Voter: n.id, HighQC: n.rules.HighQC(), Sig: sig}
 	n.net.Broadcast(types.TimeoutMsg{Timeout: t})
-	n.onTimeoutMsg(t)
+	n.onTimeoutMsg(t, true)
 }
 
-// onTimeoutMsg verifies and aggregates a timeout; a completed quorum
-// forms a TC that is forwarded to the next leader.
-func (n *Node) onTimeoutMsg(t *types.Timeout) {
+// onTimeoutMsg aggregates a timeout; a completed quorum forms a TC
+// that is forwarded to the next leader. verified means the signature
+// (and the carried QC, which the verification pool strips when
+// invalid) was already checked.
+func (n *Node) onTimeoutMsg(t *types.Timeout, verified bool) {
 	if t == nil {
 		return
 	}
-	if t.Voter != n.id {
+	if !verified {
 		if err := n.scheme.Verify(t.Voter, types.TimeoutDigest(t.View), t.Sig); err != nil {
 			return
 		}
+	}
+	if t.Voter != n.id && t.HighQC != nil && !t.HighQC.IsGenesis() {
 		// Adopt the carried QC even when the timeout itself is
 		// stale: a non-responsive leader waiting out Δ uses these
 		// to learn the freshest certified block.
-		if t.HighQC != nil && !t.HighQC.IsGenesis() {
-			if err := crypto.VerifyQC(n.scheme, t.HighQC, n.cfg.Quorum()); err == nil {
-				n.handleQC(t.HighQC)
-			}
+		if verified {
+			n.handleQC(t.HighQC)
+		} else if err := crypto.VerifyQC(n.scheme, t.HighQC, n.cfg.Quorum()); err == nil {
+			n.handleQC(t.HighQC)
 		}
 	}
 	tc, formed := n.pm.OnTimeoutMsg(t)
@@ -473,7 +659,9 @@ func (n *Node) onNewView(tc *types.TC) {
 	n.propose(view, tc)
 }
 
-// onRequest admits a client transaction into the replica's pool.
+// onRequest admits a client transaction into the replica's pool. In
+// digest mode the transaction is also queued for the next payload-sync
+// broadcast, so peers can resolve digest proposals locally.
 func (n *Node) onRequest(from types.NodeID, tx types.Transaction) {
 	if n.policy.LightweightPool {
 		if len(n.lightPool) >= 4*n.cfg.MemSize {
@@ -491,6 +679,58 @@ func (n *Node) onRequest(from types.NodeID, tx types.Transaction) {
 		return
 	}
 	n.owned[tx.ID] = from
+	n.queuePayloadSync([]types.Transaction{tx})
+}
+
+// payloadSyncInterval bounds how long a buffered transaction waits for
+// the next payload-sync broadcast.
+const payloadSyncInterval = time.Millisecond
+
+// queuePayloadSync buffers transactions for the next payload-sync
+// broadcast (digest mode's data plane), flushing when a block-sized
+// batch accumulates and arming the flush timer otherwise.
+func (n *Node) queuePayloadSync(txs []types.Transaction) {
+	if !n.cfg.DigestProposals || n.policy.LightweightPool || len(txs) == 0 {
+		return
+	}
+	n.syncBuf = append(n.syncBuf, txs...)
+	if len(n.syncBuf) >= n.cfg.BlockSize {
+		n.flushPayloadSync()
+	} else if !n.syncArmed {
+		n.syncArmed = true
+		time.AfterFunc(payloadSyncInterval, func() {
+			select {
+			case n.events <- flushPayloadEvent{}:
+			case <-n.stopCh:
+			}
+		})
+	}
+}
+
+// flushPayloadSync broadcasts the buffered transactions to peer
+// mempools — data-plane dissemination in batches, off the consensus
+// critical path.
+func (n *Node) flushPayloadSync() {
+	if len(n.syncBuf) == 0 {
+		return
+	}
+	txs := n.syncBuf
+	n.syncBuf = nil
+	n.net.Broadcast(types.PayloadBatchMsg{Txs: txs})
+}
+
+// onPayloadBatch admits peer-synced transactions. No ownership is
+// recorded: the replica that accepted the transaction from its client
+// owns the commit reply.
+func (n *Node) onPayloadBatch(m types.PayloadBatchMsg) {
+	if n.policy.LightweightPool {
+		return
+	}
+	for i := range m.Txs {
+		// Duplicates and overflow are fine: the pool is an index,
+		// and the fetch fallback covers whatever it cannot hold.
+		_ = n.pool.Add(m.Txs[i])
+	}
 }
 
 // onFetch serves a missing-ancestor request from the local forest.

@@ -82,6 +82,15 @@ type Node struct {
 
 	// pendingQCs holds certificates for blocks not yet attached.
 	pendingQCs map[types.Hash]*types.QC
+	// digestWait tracks digest proposals parked awaiting their
+	// payload on the data plane, keyed by block ID with the retry
+	// attempt already taken (fetch fallback after the budget).
+	digestWait map[types.Hash]int
+	// syncBuf accumulates client transactions awaiting the next
+	// payload-sync broadcast (digest mode's data plane); syncArmed
+	// tracks whether a flush timer is pending.
+	syncBuf   []types.Transaction
+	syncArmed bool
 	// echoSeen deduplicates echoed messages (Streamlet).
 	echoSeen map[types.Hash]struct{}
 	// owned maps transactions this replica accepted to the client
@@ -93,8 +102,16 @@ type Node struct {
 	// timeout for; the f+1 join rule signs each view at most once.
 	lastTimeoutView types.View
 
-	tracker *metrics.ChainTracker
-	opts    Options
+	tracker  *metrics.ChainTracker
+	pipeline *metrics.PipelineTracker
+	// verif, when non-nil (cfg.AsyncVerify), checks signatures off
+	// the event loop (pipeline stage 2).
+	verif *verifier
+	// apply, when non-nil (cfg.AsyncCommit plus an Execute hook or
+	// ledger), executes committed blocks off the event loop
+	// (pipeline stage 3).
+	apply *applier
+	opts  Options
 	// commitListeners run on the event loop for each committed
 	// block; registered before Start (HTTP API waiters).
 	commitListeners []func(types.View, types.Hash, []types.Transaction)
@@ -118,6 +135,16 @@ type proposeEvent struct {
 	view types.View
 	tc   *types.TC
 }
+
+// digestRetryEvent re-delivers a parked digest proposal after the
+// data-plane wait (see parkDigest).
+type digestRetryEvent struct {
+	from types.NodeID
+	msg  types.ProposalMsg
+}
+
+// flushPayloadEvent fires the payload-sync flush timer (digest mode).
+type flushPayloadEvent struct{}
 
 // NewNode assembles a replica. The rules factory receives the node's
 // forest-backed environment; Byzantine nodes (per cfg) get their rules
@@ -163,9 +190,11 @@ func NewNode(id types.NodeID, cfg config.Config, factory safety.Factory,
 		net:        net,
 		scheme:     scheme,
 		pendingQCs: make(map[types.Hash]*types.QC),
+		digestWait: make(map[types.Hash]int),
 		echoSeen:   make(map[types.Hash]struct{}),
 		owned:      make(map[types.TxID]types.NodeID),
 		tracker:    &metrics.ChainTracker{},
+		pipeline:   &metrics.PipelineTracker{},
 		opts:       opts,
 		events:     make(chan any, 64),
 		stopCh:     make(chan struct{}),
@@ -180,6 +209,10 @@ func (n *Node) ID() types.NodeID { return n.id }
 
 // Tracker exposes the chain micro-metrics (CGR, BI).
 func (n *Node) Tracker() *metrics.ChainTracker { return n.tracker }
+
+// Pipeline exposes the per-stage hot-path instrumentation: verify
+// queue wait, apply lag, and the digest/batch fast-path counters.
+func (n *Node) Pipeline() *metrics.PipelineTracker { return n.pipeline }
 
 // Violations returns how many commit-safety violations the forest
 // reported; correct runs keep this at zero.
@@ -222,19 +255,35 @@ func (n *Node) AddCommitListener(fn func(types.View, types.Hash, []types.Transac
 	n.commitListeners = append(n.commitListeners, fn)
 }
 
-// Start launches the event loop. The first leader proposes once its
-// view timer is armed; all other replicas follow the QC chain.
+// Start launches the event loop plus, per configuration, the
+// verification pool and the commit-apply stage. The first leader
+// proposes once its view timer is armed; all other replicas follow
+// the QC chain.
 func (n *Node) Start() {
+	if n.cfg.AsyncVerify {
+		n.verif = newVerifier(n, n.cfg.VerifyWorkers)
+	}
+	if n.cfg.AsyncCommit && (n.opts.Execute != nil || n.opts.Ledger != nil) {
+		n.apply = newApplier(n, n.cfg.ApplyQueue)
+	}
 	n.pm.Start()
 	go n.run()
 }
 
-// Stop terminates the event loop and waits for it to drain.
+// Stop terminates the event loop, then drains the pipeline stages:
+// the verification pool is joined, and every block committed before
+// shutdown finishes executing before Stop returns.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopCh)
 		<-n.doneCh
 		n.pm.Stop()
+		if n.verif != nil {
+			n.verif.stop()
+		}
+		if n.apply != nil {
+			n.apply.stop()
+		}
 	})
 }
 
@@ -264,17 +313,47 @@ func (n *Node) run() {
 	}
 }
 
-// dispatch routes one event on the loop goroutine.
+// dispatch routes one event on the loop goroutine. Messages from this
+// replica itself and re-injected verifier output count as verified;
+// everything else still needs its signatures checked.
 func (n *Node) dispatch(from types.NodeID, msg any) {
+	if env, ok := msg.(verifiedEnv); ok {
+		n.route(env.from, env.msg, true)
+		return
+	}
+	n.route(from, msg, from == n.id)
+}
+
+// route handles one event, offloading signature checks to the
+// verification pool when stage 2 is enabled. If the pool's queue is
+// full the message is verified inline — bounded memory beats backlog.
+func (n *Node) route(from types.NodeID, msg any, verified bool) {
+	if !verified && n.verif != nil {
+		offload := false
+		switch m := msg.(type) {
+		case types.ProposalMsg:
+			// Duplicates (echo traffic) die on the seen-check for a
+			// map lookup; don't pay pool crypto for them.
+			offload = m.Block == nil || !n.forest.Contains(m.Block.ID())
+		case types.VoteMsg, types.TimeoutMsg, types.TCMsg:
+			offload = true
+		}
+		if offload {
+			if n.verif.submit(from, msg) {
+				return
+			}
+			n.pipeline.OnInlineVerify()
+		}
+	}
 	switch m := msg.(type) {
 	case types.ProposalMsg:
-		n.onProposal(from, m)
+		n.onProposal(from, m, verified)
 	case types.VoteMsg:
-		n.onVote(from, m.Vote)
+		n.onVote(m.Vote, verified)
 	case types.TimeoutMsg:
-		n.onTimeoutMsg(m.Timeout)
+		n.onTimeoutMsg(m.Timeout, verified)
 	case types.TCMsg:
-		n.onTC(m.TC, true)
+		n.onTC(m.TC, !verified)
 	case types.RequestMsg:
 		n.onRequest(from, m.Tx)
 	case types.FetchMsg:
@@ -287,6 +366,13 @@ func (n *Node) dispatch(from types.NodeID, msg any) {
 		// modelled there).
 	case proposeEvent:
 		n.propose(m.view, m.tc)
+	case digestRetryEvent:
+		n.onDigestRetry(m.from, m.msg)
+	case types.PayloadBatchMsg:
+		n.onPayloadBatch(m)
+	case flushPayloadEvent:
+		n.syncArmed = false
+		n.flushPayloadSync()
 	}
 }
 

@@ -1,0 +1,178 @@
+package crypto
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// ErrBatchFailed reports that at least one signature in a batch failed
+// verification; the per-item validity slice identifies which.
+var ErrBatchFailed = errors.New("crypto: batch verification failed")
+
+// BatchItem is one (signer, digest, signature) triple queued for batch
+// verification.
+type BatchItem struct {
+	Signer types.NodeID
+	Digest []byte
+	Sig    []byte
+}
+
+// BatchScheme is implemented by schemes that can check a whole batch
+// of signatures in one call, returning nil only when every item is
+// valid. The stock implementations verify sequentially in a single
+// pass — the Go standard library exposes no multi-scalar Ed25519 batch
+// equation — so the speedup comes from amortizing per-message
+// dispatch and from running batches off the consensus event loop; a
+// deployment with an aggregated-signature library can slot a true
+// batch equation in behind this interface without touching callers.
+type BatchScheme interface {
+	VerifyBatch(items []BatchItem) error
+}
+
+// BatchVerifier accumulates signatures and verifies them together,
+// with per-signature fallback when the batch fails so one forged
+// signature cannot poison honest items. It is not safe for concurrent
+// use; each verification worker owns one.
+type BatchVerifier struct {
+	s     Scheme
+	items []BatchItem
+}
+
+// NewBatchVerifier creates a verifier over the scheme.
+func NewBatchVerifier(s Scheme) *BatchVerifier {
+	return &BatchVerifier{s: s}
+}
+
+// Add queues one signature.
+func (v *BatchVerifier) Add(signer types.NodeID, digest, sig []byte) {
+	v.items = append(v.items, BatchItem{Signer: signer, Digest: digest, Sig: sig})
+}
+
+// Len returns the number of queued signatures.
+func (v *BatchVerifier) Len() int { return len(v.items) }
+
+// Verify checks every queued signature and resets the batch. ok[i]
+// reports item i's validity. err is nil iff all items are valid; on a
+// whole-batch failure the verifier falls back to individual
+// verification to separate forged signatures from honest ones.
+func (v *BatchVerifier) Verify() (ok []bool, err error) {
+	items := v.items
+	v.items = nil
+	ok = make([]bool, len(items))
+	if len(items) == 0 {
+		return ok, nil
+	}
+	if bs, can := v.s.(BatchScheme); can {
+		if bs.VerifyBatch(items) == nil {
+			for i := range ok {
+				ok[i] = true
+			}
+			return ok, nil
+		}
+		// Fall through: identify the bad items individually.
+	}
+	allValid := true
+	for i := range items {
+		if v.s.Verify(items[i].Signer, items[i].Digest, items[i].Sig) == nil {
+			ok[i] = true
+		} else {
+			allValid = false
+		}
+	}
+	if !allValid {
+		return ok, ErrBatchFailed
+	}
+	return ok, nil
+}
+
+// VerifyBatch implements BatchScheme for Ed25519: one sequential pass
+// over the stdlib verifier with early exit on the first failure.
+func (e *Ed25519) VerifyBatch(items []BatchItem) error {
+	for i := range items {
+		pub, ok := e.pubs[items[i].Signer]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownSigner, items[i].Signer)
+		}
+		if !ed25519.Verify(pub, items[i].Digest, items[i].Sig) {
+			return fmt.Errorf("%w: %s", ErrBadSignature, items[i].Signer)
+		}
+	}
+	return nil
+}
+
+// VerifyBatch implements BatchScheme for HMAC.
+func (h *HMAC) VerifyBatch(items []BatchItem) error {
+	for i := range items {
+		if err := h.Verify(items[i].Signer, items[i].Digest, items[i].Sig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyBatch implements BatchScheme for Noop.
+func (Noop) VerifyBatch([]BatchItem) error { return nil }
+
+// VerifyQCBatch checks a quorum certificate using batch verification.
+// Structural checks (arity, duplicate signers) match VerifyQC; the
+// signature check differs under attack: when the batch fails, valid
+// signatures are separated from forged ones, and the certificate is
+// accepted as long as the valid distinct signers still reach the
+// quorum — a Byzantine aggregator cannot void honest votes by mixing
+// in garbage.
+func VerifyQCBatch(s Scheme, qc *types.QC, quorum int) error {
+	if qc == nil {
+		return errors.New("crypto: nil QC")
+	}
+	if qc.IsGenesis() {
+		return nil
+	}
+	return verifyCertBatch(s, qc.Signers, qc.Sigs, types.SigningDigest(qc.View, qc.BlockID), quorum)
+}
+
+// VerifyTCBatch checks a timeout certificate the way VerifyQCBatch
+// checks a quorum certificate.
+func VerifyTCBatch(s Scheme, tc *types.TC, quorum int) error {
+	if tc == nil {
+		return errors.New("crypto: nil TC")
+	}
+	return verifyCertBatch(s, tc.Signers, tc.Sigs, types.TimeoutDigest(tc.View), quorum)
+}
+
+// verifyCertBatch is the shared certificate check: structural
+// validation, one batch verification over the common digest, and the
+// tolerant quorum-of-valid fallback.
+func verifyCertBatch(s Scheme, signers []types.NodeID, sigs [][]byte, digest []byte, quorum int) error {
+	if len(signers) != len(sigs) {
+		return ErrArityMismatch
+	}
+	if len(signers) < quorum {
+		return fmt.Errorf("%w: %d < %d", ErrQuorumTooSmall, len(signers), quorum)
+	}
+	seen := make(map[types.NodeID]struct{}, len(signers))
+	bv := NewBatchVerifier(s)
+	for i, id := range signers {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateSigner, id)
+		}
+		seen[id] = struct{}{}
+		bv.Add(id, digest, sigs[i])
+	}
+	ok, err := bv.Verify()
+	if err == nil {
+		return nil
+	}
+	valid := 0
+	for _, v := range ok {
+		if v {
+			valid++
+		}
+	}
+	if valid >= quorum {
+		return nil
+	}
+	return fmt.Errorf("%w: %d valid of %d below quorum %d", ErrBatchFailed, valid, len(ok), quorum)
+}

@@ -1,0 +1,192 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// batchFixture signs n digests with distinct signers under the scheme.
+func batchFixture(t *testing.T, s Scheme, n int) ([]types.NodeID, [][]byte, [][]byte) {
+	t.Helper()
+	signers := make([]types.NodeID, n)
+	digests := make([][]byte, n)
+	sigs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		signers[i] = types.NodeID(i + 1)
+		digests[i] = types.SigningDigest(types.View(i+1), types.Hash{byte(i)})
+		sig, err := s.Sign(signers[i], digests[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = sig
+	}
+	return signers, digests, sigs
+}
+
+func TestBatchVerifierAllValid(t *testing.T) {
+	for _, name := range []string{"ed25519", "hmac", "noop"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewScheme(name, 8, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			signers, digests, sigs := batchFixture(t, s, 8)
+			bv := NewBatchVerifier(s)
+			for i := range signers {
+				bv.Add(signers[i], digests[i], sigs[i])
+			}
+			if bv.Len() != 8 {
+				t.Fatalf("Len = %d", bv.Len())
+			}
+			ok, err := bv.Verify()
+			if err != nil {
+				t.Fatalf("valid batch rejected: %v", err)
+			}
+			for i, v := range ok {
+				if !v {
+					t.Fatalf("item %d marked invalid", i)
+				}
+			}
+			if bv.Len() != 0 {
+				t.Fatal("Verify must reset the batch")
+			}
+		})
+	}
+}
+
+// TestBatchVerifierForgedFallsBack: one forged signature fails the
+// batch, and the per-signature fallback pinpoints exactly it.
+func TestBatchVerifierForgedFallsBack(t *testing.T) {
+	for _, name := range []string{"ed25519", "hmac"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewScheme(name, 8, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			signers, digests, sigs := batchFixture(t, s, 8)
+			const forged = 3
+			sigs[forged] = []byte("definitely not a signature")
+			bv := NewBatchVerifier(s)
+			for i := range signers {
+				bv.Add(signers[i], digests[i], sigs[i])
+			}
+			ok, err := bv.Verify()
+			if !errors.Is(err, ErrBatchFailed) {
+				t.Fatalf("err = %v, want ErrBatchFailed", err)
+			}
+			for i, v := range ok {
+				if i == forged && v {
+					t.Fatal("forged signature marked valid")
+				}
+				if i != forged && !v {
+					t.Fatalf("honest signature %d dropped with the forged one", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchVerifierEmpty(t *testing.T) {
+	s, _ := NewScheme("ed25519", 4, 1)
+	bv := NewBatchVerifier(s)
+	ok, err := bv.Verify()
+	if err != nil || len(ok) != 0 {
+		t.Fatalf("empty batch: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestQCBatchByzantineSignature is the adversarial case: a Byzantine
+// voter smuggles a garbage signature into an otherwise valid quorum
+// certificate. Batch verification must fall back, reject the bad
+// signature, and still accept the certificate on the strength of the
+// honest votes — the attacker cannot void a quorum it is part of.
+func TestQCBatchByzantineSignature(t *testing.T) {
+	const n, quorum = 7, 5
+	s, err := NewScheme("ed25519", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockID := types.Hash{0xab}
+	digest := types.SigningDigest(3, blockID)
+	qc := &types.QC{View: 3, BlockID: blockID}
+	for i := 1; i <= quorum+1; i++ {
+		sig, err := s.Sign(types.NodeID(i), digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qc.Signers = append(qc.Signers, types.NodeID(i))
+		qc.Sigs = append(qc.Sigs, sig)
+	}
+	// Voter 2 is Byzantine: its signature is garbage, but five honest
+	// signatures remain — still a quorum.
+	qc.Sigs[1] = []byte("byzantine garbage")
+	if err := VerifyQCBatch(s, qc, quorum); err != nil {
+		t.Fatalf("QC with %d honest signatures rejected: %v", quorum, err)
+	}
+	// Strip one more honest vote: now only quorum-1 valid — reject.
+	qc.Sigs[2] = []byte("more garbage")
+	if err := VerifyQCBatch(s, qc, quorum); err == nil {
+		t.Fatal("QC below quorum of valid signatures accepted")
+	}
+	// The synchronous verifier stays strict: any bad signature fails.
+	if err := VerifyQC(s, qc, quorum); err == nil {
+		t.Fatal("strict VerifyQC accepted a garbage signature")
+	}
+}
+
+// TestQCBatchStructuralChecks: duplicates and arity mismatches are
+// rejected before any signature work.
+func TestQCBatchStructuralChecks(t *testing.T) {
+	s, _ := NewScheme("hmac", 4, 1)
+	blockID := types.Hash{0x01}
+	digest := types.SigningDigest(1, blockID)
+	sig, _ := s.Sign(1, digest)
+	dup := &types.QC{View: 1, BlockID: blockID,
+		Signers: []types.NodeID{1, 1, 2}, Sigs: [][]byte{sig, sig, sig}}
+	if err := VerifyQCBatch(s, dup, 3); !errors.Is(err, ErrDuplicateSigner) {
+		t.Fatalf("duplicate signers: %v", err)
+	}
+	arity := &types.QC{View: 1, BlockID: blockID,
+		Signers: []types.NodeID{1, 2, 3}, Sigs: [][]byte{sig}}
+	if err := VerifyQCBatch(s, arity, 3); !errors.Is(err, ErrArityMismatch) {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+	small := &types.QC{View: 1, BlockID: blockID,
+		Signers: []types.NodeID{1}, Sigs: [][]byte{sig}}
+	if err := VerifyQCBatch(s, small, 3); !errors.Is(err, ErrQuorumTooSmall) {
+		t.Fatalf("below quorum: %v", err)
+	}
+	if err := VerifyQCBatch(s, &types.QC{View: 0}, 3); err != nil {
+		t.Fatalf("genesis QC rejected: %v", err)
+	}
+}
+
+// TestTCBatchMirrorsQC: timeout certificates get the same tolerant
+// batch semantics.
+func TestTCBatchMirrorsQC(t *testing.T) {
+	const n, quorum = 4, 3
+	s, err := NewScheme("ed25519", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := types.TimeoutDigest(9)
+	tc := &types.TC{View: 9}
+	for i := 1; i <= n; i++ {
+		sig, err := s.Sign(types.NodeID(i), digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.Signers = append(tc.Signers, types.NodeID(i))
+		tc.Sigs = append(tc.Sigs, sig)
+	}
+	tc.Sigs[0] = []byte("bad")
+	if err := VerifyTCBatch(s, tc, quorum); err != nil {
+		t.Fatalf("TC with %d honest signatures rejected: %v", n-1, err)
+	}
+	tc.Sigs[1] = []byte("bad too")
+	if err := VerifyTCBatch(s, tc, quorum); err == nil {
+		t.Fatal("TC below quorum of valid signatures accepted")
+	}
+}

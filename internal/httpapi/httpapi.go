@@ -7,9 +7,12 @@
 //
 //	POST /tx      submit a transaction; the response returns when the
 //	              transaction commits (or the request times out).
-//	GET  /status  replica snapshot: current view, committed height.
+//	GET  /status  replica snapshot: current view, committed height,
+//	              plus the per-stage pipeline latencies (verify-queue
+//	              wait, apply lag).
 //	GET  /hash    committed block hash at ?height=N (consistency check).
-//	GET  /metrics chain micro-metrics (CGR, BI, committed counts).
+//	GET  /metrics chain micro-metrics (CGR, BI, committed counts) plus
+//	              the pipeline stage counters under "pipeline".
 package httpapi
 
 import (
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/core"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -137,8 +141,22 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// statusResponse augments the replica snapshot with the pipeline's
+// per-stage latencies, so operators can see at a glance whether the
+// verification pool or the commit-apply stage is the bottleneck.
+type statusResponse struct {
+	core.Status
+	VerifyQueueWait metrics.LatencySummary `json:"verifyQueueWait"`
+	ApplyLag        metrics.LatencySummary `json:"applyLag"`
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.node.Status())
+	p := s.node.Pipeline().Snapshot()
+	writeJSON(w, statusResponse{
+		Status:          s.node.Status(),
+		VerifyQueueWait: p.VerifyQueueWait,
+		ApplyLag:        p.ApplyLag,
+	})
 }
 
 func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {
@@ -155,8 +173,18 @@ func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"hash": fmt.Sprintf("%x", hash[:])})
 }
 
+// metricsResponse flattens the chain micro-metrics (unchanged wire
+// shape for existing consumers) and nests the pipeline stage counters.
+type metricsResponse struct {
+	metrics.ChainStats
+	Pipeline metrics.PipelineStats `json:"pipeline"`
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.node.Tracker().Snapshot())
+	writeJSON(w, metricsResponse{
+		ChainStats: s.node.Tracker().Snapshot(),
+		Pipeline:   s.node.Pipeline().Snapshot(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

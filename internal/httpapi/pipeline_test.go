@@ -1,0 +1,92 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/cluster"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/kvstore"
+)
+
+// TestPipelineMetricsExposed: with the pipeline stages on, /status
+// reports the per-stage latencies and /metrics the stage counters.
+func TestPipelineMetricsExposed(t *testing.T) {
+	cfg := config.Default()
+	cfg.Protocol = config.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 20
+	cfg.MemSize = 10000
+	cfg.Timeout = 150 * time.Millisecond
+	cfg.DigestProposals = true
+	cfg.AsyncVerify = true
+	cfg.AsyncCommit = true
+	c, err := cluster.New(cfg, cluster.Options{WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(c.Node(c.Observer()), 9002, 5*time.Second)
+	srv := httptest.NewServer(api.Handler())
+	c.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		c.Stop()
+	})
+
+	body, _ := json.Marshal(txRequest{Command: kvstore.EncodeNoop(0)})
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		CommittedHeight uint64
+		VerifyQueueWait struct{ Count uint64 } `json:"verifyQueueWait"`
+		ApplyLag        struct{ Count uint64 } `json:"applyLag"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if status.CommittedHeight == 0 {
+		t.Fatalf("no commit: %+v", status)
+	}
+	if status.VerifyQueueWait.Count == 0 {
+		t.Fatalf("no verify-queue samples on the status endpoint: %+v", status)
+	}
+	if status.ApplyLag.Count == 0 {
+		t.Fatalf("no apply-lag samples on the status endpoint: %+v", status)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		BlocksCommitted uint64
+		Pipeline        struct {
+			SigsVerified  uint64
+			BlocksApplied uint64
+		} `json:"pipeline"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if m.BlocksCommitted == 0 {
+		t.Fatalf("no chain metrics: %+v", m)
+	}
+	if m.Pipeline.SigsVerified == 0 || m.Pipeline.BlocksApplied == 0 {
+		t.Fatalf("pipeline counters missing from /metrics: %+v", m)
+	}
+}

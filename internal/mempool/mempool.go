@@ -21,12 +21,22 @@ var (
 	ErrDuplicate = errors.New("mempool: duplicate transaction")
 )
 
-// Pool is a capacity-bounded transaction deque.
+// batchCacheLimit bounds the digest→payload batch cache.
+const batchCacheLimit = 256
+
+// Pool is a capacity-bounded transaction deque, indexed by transaction
+// ID so digest-only proposals can be resolved without refetching the
+// payload from the leader.
 type Pool struct {
 	mu      sync.Mutex
 	q       deque
-	members map[types.TxID]struct{}
+	members map[types.TxID]types.Transaction
 	cap     int
+	// batches caches resolved payload batches by payload digest so
+	// duplicate digest proposals (echoes, retransmissions) resolve
+	// with one map hit; batchOrder drives FIFO eviction.
+	batches    map[types.Hash][]types.Transaction
+	batchOrder []types.Hash
 }
 
 // New creates a pool holding at most capacity transactions (Table I
@@ -36,8 +46,9 @@ func New(capacity int) *Pool {
 		capacity = 1
 	}
 	return &Pool{
-		members: make(map[types.TxID]struct{}, capacity),
+		members: make(map[types.TxID]types.Transaction, capacity),
 		cap:     capacity,
+		batches: make(map[types.Hash][]types.Transaction),
 	}
 }
 
@@ -48,10 +59,10 @@ func (p *Pool) Add(tx types.Transaction) error {
 	if _, dup := p.members[tx.ID]; dup {
 		return ErrDuplicate
 	}
-	if p.q.len() >= p.cap {
+	if len(p.members) >= p.cap {
 		return ErrFull
 	}
-	p.members[tx.ID] = struct{}{}
+	p.members[tx.ID] = tx
 	p.q.pushBack(tx)
 	return nil
 }
@@ -71,7 +82,7 @@ func (p *Pool) Requeue(txs []types.Transaction) int {
 		if _, dup := p.members[tx.ID]; dup {
 			continue
 		}
-		p.members[tx.ID] = struct{}{}
+		p.members[tx.ID] = tx
 		p.q.pushFront(tx)
 		accepted++
 	}
@@ -81,10 +92,11 @@ func (p *Pool) Requeue(txs []types.Transaction) int {
 // Batch removes and returns up to max transactions from the front —
 // the paper's simple batching strategy: the proposer takes everything
 // available when the pool holds fewer than the target block size.
+// Entries removed lazily by Remove are skipped and reclaimed here.
 func (p *Pool) Batch(max int) []types.Transaction {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	n := p.q.len()
+	n := len(p.members)
 	if n > max {
 		n = max
 	}
@@ -92,18 +104,33 @@ func (p *Pool) Batch(max int) []types.Transaction {
 		return nil
 	}
 	out := make([]types.Transaction, 0, n)
-	for i := 0; i < n; i++ {
-		tx, _ := p.q.popFront()
+	for len(out) < max {
+		tx, ok := p.q.popFront()
+		if !ok {
+			break
+		}
+		if _, live := p.members[tx.ID]; !live {
+			continue // ghost: removed while queued
+		}
 		delete(p.members, tx.ID)
 		out = append(out, tx)
 	}
 	return out
 }
 
+// removeCompactFloor is the minimum ghost count before Remove compacts
+// the deque eagerly.
+const removeCompactFloor = 1024
+
 // Remove drops the given transactions if still queued — used when a
-// block commits carrying transactions this node also holds (e.g. after
-// a fork recycled them into a competing proposal). It returns the
-// number of transactions removed.
+// block commits carrying transactions this node also holds (e.g. a
+// synced or fanned-out payload, or a fork recycled into a competing
+// proposal). It returns the number of transactions removed.
+//
+// Deletion is lazy — the membership index is the source of truth and
+// deque entries linger as ghosts that Batch skips — so the hot path
+// costs O(ids) instead of O(pool). The deque compacts only when
+// ghosts clearly outnumber live entries.
 func (p *Pool) Remove(ids []types.TxID) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -115,7 +142,10 @@ func (p *Pool) Remove(ids []types.TxID) int {
 		delete(p.members, id)
 		removed++
 	}
-	if removed > 0 {
+	if removed == 0 {
+		return 0
+	}
+	if ghosts := p.q.len() - len(p.members); ghosts > removeCompactFloor && ghosts > len(p.members) {
 		p.q.filter(func(tx types.Transaction) bool {
 			_, keep := p.members[tx.ID]
 			return keep
@@ -132,11 +162,68 @@ func (p *Pool) Contains(id types.TxID) bool {
 	return ok
 }
 
-// Len returns the number of queued transactions.
+// Get returns the queued transaction with the given ID without
+// removing it — the point lookup behind digest-proposal resolution.
+func (p *Pool) Get(id types.TxID) (types.Transaction, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tx, ok := p.members[id]
+	return tx, ok
+}
+
+// Resolve looks up every ID in order, returning the assembled payload
+// and the IDs that are not queued. Transactions stay in the pool:
+// the engine scrubs them only after the resolved block attaches, so a
+// proposal that fails later checks costs nothing.
+func (p *Pool) Resolve(ids []types.TxID) (payload []types.Transaction, missing []types.TxID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	payload = make([]types.Transaction, 0, len(ids))
+	for _, id := range ids {
+		tx, ok := p.members[id]
+		if !ok {
+			missing = append(missing, id)
+			continue
+		}
+		payload = append(payload, tx)
+	}
+	return payload, missing
+}
+
+// CacheBatch remembers a fully resolved payload batch under its
+// digest. The cache is bounded; the oldest batch is evicted first.
+func (p *Pool) CacheBatch(digest types.Hash, payload []types.Transaction) {
+	if digest.IsZero() || len(payload) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.batches[digest]; ok {
+		return
+	}
+	if len(p.batchOrder) >= batchCacheLimit {
+		oldest := p.batchOrder[0]
+		p.batchOrder = p.batchOrder[1:]
+		delete(p.batches, oldest)
+	}
+	p.batches[digest] = payload
+	p.batchOrder = append(p.batchOrder, digest)
+}
+
+// BatchByDigest returns a previously cached payload batch — the
+// lookup-by-digest fast path for duplicate digest proposals.
+func (p *Pool) BatchByDigest(digest types.Hash) ([]types.Transaction, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	payload, ok := p.batches[digest]
+	return payload, ok
+}
+
+// Len returns the number of queued (live) transactions.
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.q.len()
+	return len(p.members)
 }
 
 // Cap returns the configured capacity.
@@ -194,17 +281,16 @@ func (d *deque) popFront() (types.Transaction, bool) {
 
 // filter keeps only transactions satisfying keep, preserving order.
 func (d *deque) filter(keep func(types.Transaction) bool) {
-	kept := make([]types.Transaction, 0, d.count)
+	kept := make([]types.Transaction, 0, len(d.buf))
 	for i := 0; i < d.count; i++ {
 		tx := d.buf[(d.head+i)%len(d.buf)]
 		if keep(tx) {
 			kept = append(kept, tx)
 		}
 	}
-	d.buf = kept
-	d.head = 0
 	d.count = len(kept)
-	if cap(d.buf) == 0 {
-		d.buf = make([]types.Transaction, 0, 16)
-	}
+	d.head = 0
+	// Ring indexing assumes len(buf) == cap(buf); a single re-slice
+	// to full capacity restores that after the compaction.
+	d.buf = kept[:cap(kept)]
 }

@@ -1,0 +1,101 @@
+package metrics
+
+import "time"
+
+// PipelineStats digests the per-stage instrumentation of the replica
+// hot-path pipeline: how long messages wait for the verification pool,
+// how far block execution lags behind commitment, and how each stage's
+// fast paths and fallbacks are doing.
+type PipelineStats struct {
+	// VerifyQueueWait is the latency distribution between a message
+	// entering the verification queue and a worker picking it up.
+	VerifyQueueWait LatencySummary
+	// ApplyLag is the latency distribution between a block
+	// committing on the event loop and its payload finishing
+	// execution on the commit-apply stage.
+	ApplyLag LatencySummary
+	// SigsVerified counts signatures checked by the pool.
+	SigsVerified uint64
+	// BatchesVerified counts batch verification calls.
+	BatchesVerified uint64
+	// BatchFallbacks counts batches that failed and fell back to
+	// per-signature verification.
+	BatchFallbacks uint64
+	// VerifyRejected counts messages dropped for bad signatures.
+	VerifyRejected uint64
+	// InlineVerifies counts messages verified on the event loop
+	// because the verification queue was full (backpressure).
+	InlineVerifies uint64
+	// DigestResolved counts digest proposals rebuilt from the local
+	// mempool (including batch-cache hits).
+	DigestResolved uint64
+	// DigestFetched counts digest proposals that missed the mempool
+	// and fell back to fetching the full block.
+	DigestFetched uint64
+	// BlocksApplied counts blocks executed by the commit-apply stage.
+	BlocksApplied uint64
+}
+
+// PipelineTracker accumulates PipelineStats. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type PipelineTracker struct {
+	verifyWait Latency
+	applyLag   Latency
+
+	sigs      Counter
+	batches   Counter
+	fallbacks Counter
+	rejected  Counter
+	inline    Counter
+	resolved  Counter
+	fetched   Counter
+	applied   Counter
+}
+
+// OnVerifyBatch records one verification pool batch: the queue wait of
+// its oldest message, the number of signatures checked, and whether
+// the batch fell back to per-signature verification.
+func (p *PipelineTracker) OnVerifyBatch(wait time.Duration, sigs int, fellBack bool) {
+	p.verifyWait.Record(wait)
+	p.sigs.Add(uint64(sigs))
+	p.batches.Add(1)
+	if fellBack {
+		p.fallbacks.Add(1)
+	}
+}
+
+// OnVerifyRejected records a message dropped for failing verification.
+func (p *PipelineTracker) OnVerifyRejected() { p.rejected.Add(1) }
+
+// OnInlineVerify records a message verified on the event loop because
+// the pool's queue was full.
+func (p *PipelineTracker) OnInlineVerify() { p.inline.Add(1) }
+
+// OnDigestResolved records a digest proposal rebuilt from the mempool.
+func (p *PipelineTracker) OnDigestResolved() { p.resolved.Add(1) }
+
+// OnDigestFetched records a digest proposal that fell back to a fetch.
+func (p *PipelineTracker) OnDigestFetched() { p.fetched.Add(1) }
+
+// OnBlockApplied records a block finishing execution lag behind its
+// commit.
+func (p *PipelineTracker) OnBlockApplied(lag time.Duration) {
+	p.applyLag.Record(lag)
+	p.applied.Add(1)
+}
+
+// Snapshot digests the tracker.
+func (p *PipelineTracker) Snapshot() PipelineStats {
+	return PipelineStats{
+		VerifyQueueWait: p.verifyWait.Snapshot(),
+		ApplyLag:        p.applyLag.Snapshot(),
+		SigsVerified:    p.sigs.Load(),
+		BatchesVerified: p.batches.Load(),
+		BatchFallbacks:  p.fallbacks.Load(),
+		VerifyRejected:  p.rejected.Load(),
+		InlineVerifies:  p.inline.Load(),
+		DigestResolved:  p.resolved.Load(),
+		DigestFetched:   p.fetched.Load(),
+		BlocksApplied:   p.applied.Load(),
+	}
+}

@@ -47,7 +47,16 @@ func messageSize(msg any) int {
 	switch m := msg.(type) {
 	case types.ProposalMsg:
 		if m.Block != nil {
-			return m.Block.Size()
+			// Digest proposals carry the 32-byte payload digest plus
+			// 16-byte transaction IDs instead of full transactions —
+			// the bandwidth saving the data-plane split buys.
+			// (Block.Size covers the header; the digest is charged
+			// here since only stripped proposals depend on it.)
+			n := m.Block.Size() + 16*len(m.PayloadIDs)
+			if len(m.PayloadIDs) > 0 {
+				n += 32
+			}
+			return n
 		}
 	case types.VoteMsg:
 		return 150 // view + hash + id + signature
@@ -62,6 +71,12 @@ func messageSize(msg any) int {
 		}
 	case types.RequestMsg:
 		return m.Tx.Size()
+	case types.PayloadBatchMsg:
+		n := 16
+		for i := range m.Txs {
+			n += m.Txs[i].Size()
+		}
+		return n
 	case Sizer:
 		return m.Size()
 	}

@@ -1,0 +1,115 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+func digestPayloadFixture() []Transaction {
+	return []Transaction{
+		{ID: TxID{Client: 1, Seq: 1}, Command: []byte("set a 1")},
+		{ID: TxID{Client: 2, Seq: 7}, Command: []byte("set b 2")},
+	}
+}
+
+func TestDigestPayloadSensitivity(t *testing.T) {
+	base := DigestPayload(digestPayloadFixture())
+	if base.IsZero() {
+		t.Fatal("digest of non-empty payload is zero")
+	}
+	reordered := digestPayloadFixture()
+	reordered[0], reordered[1] = reordered[1], reordered[0]
+	if DigestPayload(reordered) == base {
+		t.Fatal("digest ignores order")
+	}
+	tampered := digestPayloadFixture()
+	tampered[1].Command = []byte("set b 3")
+	if DigestPayload(tampered) == base {
+		t.Fatal("digest ignores command bytes")
+	}
+	renamed := digestPayloadFixture()
+	renamed[1].ID.Seq = 8
+	if DigestPayload(renamed) == base {
+		t.Fatal("digest ignores transaction IDs")
+	}
+}
+
+// TestStripAndResolveRoundTrip is the digest-proposal invariant the
+// whole data-plane split rests on: a stripped block and its resolved
+// counterpart share the ID of the original full block, so signatures
+// verify before resolution and the forest sees one identity.
+func TestStripAndResolveRoundTrip(t *testing.T) {
+	payload := digestPayloadFixture()
+	full := &Block{
+		View:     4,
+		Proposer: 2,
+		Parent:   Hash{0x11},
+		QC:       &QC{View: 3, BlockID: Hash{0x11}},
+		Payload:  payload,
+	}
+	id := full.ID()
+
+	stripped := full.StripPayload()
+	if len(stripped.Payload) != 0 {
+		t.Fatal("stripped block kept its payload")
+	}
+	if stripped.ID() != id {
+		t.Fatal("stripped ID differs from full ID")
+	}
+	if stripped.PayloadDigest() != DigestPayload(payload) {
+		t.Fatal("stripped digest wrong")
+	}
+	if !bytes.Equal(stripped.Sig, full.Sig) {
+		t.Fatal("signature not carried")
+	}
+
+	resolved := stripped.WithPayload(payload)
+	if resolved.ID() != id {
+		t.Fatal("resolved ID differs from full ID")
+	}
+	if len(resolved.Payload) != len(payload) {
+		t.Fatal("resolved payload wrong")
+	}
+	// Mutating the resolved copy must not corrupt the stripped one
+	// (blocks travel by pointer in-process).
+	resolved.Payload[0].Command = []byte("mutated")
+	if len(stripped.Payload) != 0 {
+		t.Fatal("resolution aliased the stripped block")
+	}
+}
+
+// TestBlockIDDistinguishesDigests: two blocks identical except for
+// their payloads (hence digests) must have different IDs; two blocks
+// with equal digests but one carrying the payload inline must match.
+func TestBlockIDDistinguishesDigests(t *testing.T) {
+	qc := &QC{View: 1, BlockID: Hash{0x22}}
+	a := &Block{View: 2, Proposer: 1, Parent: Hash{0x22}, QC: qc,
+		Payload: []Transaction{{ID: TxID{Client: 1, Seq: 1}}}}
+	b := &Block{View: 2, Proposer: 1, Parent: Hash{0x22}, QC: qc,
+		Payload: []Transaction{{ID: TxID{Client: 1, Seq: 2}}}}
+	if a.ID() == b.ID() {
+		t.Fatal("different payloads, same block ID")
+	}
+	empty := &Block{View: 2, Proposer: 1, Parent: Hash{0x22}, QC: qc}
+	if empty.ID() == a.ID() {
+		t.Fatal("empty payload collides with non-empty")
+	}
+}
+
+func TestIsDigestProposal(t *testing.T) {
+	full := ProposalMsg{Block: &Block{Payload: digestPayloadFixture()}}
+	if full.IsDigest() {
+		t.Fatal("full proposal classified as digest")
+	}
+	stripped := ProposalMsg{
+		Block:      &Block{Digest: Hash{0x01}},
+		PayloadIDs: []TxID{{Client: 1, Seq: 1}},
+	}
+	if !stripped.IsDigest() {
+		t.Fatal("digest proposal not classified")
+	}
+	empty := ProposalMsg{}
+	if empty.IsDigest() {
+		t.Fatal("nil block classified as digest")
+	}
+}

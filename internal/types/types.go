@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // View is a monotonically increasing protocol round. Each view has a
@@ -119,6 +120,27 @@ func TimeoutDigest(view View) []byte {
 	return sum[:]
 }
 
+// DigestPayload hashes an ordered transaction batch: each transaction's
+// identifier and command, in batch order. It is the payload commitment
+// blocks carry, and what lets a proposal travel as a digest plus
+// transaction IDs while followers rebuild the batch from their own
+// memory pools (the data-plane/consensus-plane split).
+func DigestPayload(txs []Transaction) Hash {
+	h := sha256.New()
+	var buf [8]byte
+	for i := range txs {
+		tx := &txs[i]
+		binary.BigEndian.PutUint64(buf[:], tx.ID.Client)
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], tx.ID.Seq)
+		h.Write(buf[:])
+		h.Write(tx.Command)
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
 // Block is the unit of replication. Its QC certifies the parent block,
 // cryptographically chaining blocks together.
 type Block struct {
@@ -129,21 +151,48 @@ type Block struct {
 	Parent  Hash
 	QC      *QC
 	Payload []Transaction
+	// Digest commits to the payload (see DigestPayload). It is
+	// computed lazily from Payload for full blocks and carried
+	// explicitly on digest-only proposals, whose Payload is empty
+	// until the follower resolves it from its mempool.
+	Digest Hash
 	// Sig is the proposer's signature over the block ID.
 	Sig []byte
 
-	// id caches the block hash; compute with ID().
+	// id caches the block hash; compute with ID(). The once guard
+	// makes first use safe from any goroutine: blocks travel by
+	// pointer between in-process replicas, so two event loops may
+	// materialize the same block's hash concurrently.
+	idOnce sync.Once
 	id     Hash
-	hashed bool
+}
+
+// PayloadDigest returns the block's payload commitment, materializing
+// the block identity (which caches the digest) on first use. Blocks
+// with an empty payload and no explicit digest commit to the zero
+// hash.
+func (b *Block) PayloadDigest() Hash {
+	b.idOnce.Do(b.computeID)
+	return b.Digest
 }
 
 // ID returns the block's hash, computing and caching it on first use.
 // The hash covers view, proposer, parent link, the certified parent's
-// view, and the payload transaction IDs — everything that determines
-// the block's position and contents.
+// view, and the payload digest — everything that determines the
+// block's position and contents. Because the payload enters through
+// its digest, the ID of a digest-only proposal equals the ID of the
+// full block, so signatures verify before the payload is resolved.
 func (b *Block) ID() Hash {
-	if b.hashed {
-		return b.id
+	b.idOnce.Do(b.computeID)
+	return b.id
+}
+
+// computeID runs exactly once per block, under idOnce: it fills the
+// payload digest (when the block carries its payload inline) and the
+// block hash.
+func (b *Block) computeID() {
+	if b.Digest.IsZero() && len(b.Payload) > 0 {
+		b.Digest = DigestPayload(b.Payload)
 	}
 	h := sha256.New()
 	var buf [8]byte
@@ -157,17 +206,44 @@ func (b *Block) ID() Hash {
 		h.Write(buf[:])
 		h.Write(b.QC.BlockID[:])
 	}
-	for i := range b.Payload {
-		tx := &b.Payload[i]
-		binary.BigEndian.PutUint64(buf[:], tx.ID.Client)
-		h.Write(buf[:])
-		binary.BigEndian.PutUint64(buf[:], tx.ID.Seq)
-		h.Write(buf[:])
-		h.Write(tx.Command)
-	}
+	h.Write(b.Digest[:])
 	copy(b.id[:], h.Sum(nil))
-	b.hashed = true
-	return b.id
+}
+
+// StripPayload returns a copy of the block carrying the payload digest
+// instead of the payload itself — the wire form of a digest-only
+// proposal. The copy shares the (immutable) QC and signature and has
+// its ID pre-computed, so concurrent receivers never mutate the
+// original block.
+func (b *Block) StripPayload() *Block {
+	cp := &Block{
+		View:     b.View,
+		Proposer: b.Proposer,
+		Parent:   b.Parent,
+		QC:       b.QC,
+		Digest:   b.PayloadDigest(),
+		Sig:      b.Sig,
+	}
+	cp.idOnce.Do(func() { cp.id = b.ID() })
+	return cp
+}
+
+// WithPayload returns a copy of the block with the resolved payload
+// attached. It is the inverse of StripPayload on the follower side;
+// the caller must have checked that DigestPayload(payload) matches
+// the block's digest.
+func (b *Block) WithPayload(payload []Transaction) *Block {
+	cp := &Block{
+		View:     b.View,
+		Proposer: b.Proposer,
+		Parent:   b.Parent,
+		QC:       b.QC,
+		Payload:  payload,
+		Digest:   b.PayloadDigest(),
+		Sig:      b.Sig,
+	}
+	cp.idOnce.Do(func() { cp.id = b.ID() })
+	return cp
 }
 
 // Size returns the approximate wire size of the block in bytes,

@@ -25,17 +25,18 @@ func TestBlockIDDeterministic(t *testing.T) {
 }
 
 func TestBlockIDSensitivity(t *testing.T) {
-	base := Block{
-		View:     7,
-		Proposer: 3,
-		Parent:   Hash{1},
-		QC:       &QC{View: 6, BlockID: Hash{1}},
-		Payload:  []Transaction{{ID: TxID{Client: 1, Seq: 1}, Command: []byte("a")}},
-	}
+	// Build a fresh block per variant: the hash cache is fixed at
+	// first use (and guarded by a sync.Once, so blocks cannot be
+	// copied by value).
 	id := func(mut func(*Block)) Hash {
-		b := base // shallow copy; payload shared but only mutated via mut
-		b.hashed = false
-		mut(&b)
+		b := &Block{
+			View:     7,
+			Proposer: 3,
+			Parent:   Hash{1},
+			QC:       &QC{View: 6, BlockID: Hash{1}},
+			Payload:  []Transaction{{ID: TxID{Client: 1, Seq: 1}, Command: []byte("a")}},
+		}
+		mut(b)
 		return b.ID()
 	}
 	orig := id(func(*Block) {})
