@@ -18,16 +18,37 @@
 //	client, err := c.NewClient()
 //	client.SubmitAndWait(time.Second)
 //
+// Above the cluster sits the declarative experiment layer — the
+// framework-as-harness the paper is about. An Experiment is data: a
+// Config, a Workload spec (padded no-op, zipfian key-value mix, or
+// kvbank transfers), a timed fault schedule (PartitionAt, HealAt,
+// CrashAt, RestartAt, FluctuateAt, SetDelayAt), and a measurement
+// plan. Run executes it and returns a structured, JSON-marshalable
+// Result:
+//
+//	res, err := bamboo.Run(bamboo.Experiment{
+//		Config:   cfg,
+//		Workload: bamboo.WorkloadSpec{Kind: bamboo.WorkloadKV, WriteRatio: 0.5},
+//		Faults: bamboo.FaultSchedule{
+//			bamboo.PartitionAt(time.Second, map[bamboo.NodeID]int{1: 1, 2: 1}),
+//			bamboo.HealAt(2 * time.Second),
+//		},
+//		Measure: bamboo.MeasurePlan{Warmup: time.Second, Window: 2 * time.Second},
+//	})
+//
 // The types below alias the implementation packages so downstream
 // code can name every value the API returns.
 package bamboo
 
 import (
+	"time"
+
 	"github.com/bamboo-bft/bamboo/internal/client"
 	"github.com/bamboo-bft/bamboo/internal/cluster"
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/core"
 	"github.com/bamboo-bft/bamboo/internal/forest"
+	"github.com/bamboo-bft/bamboo/internal/harness"
 	"github.com/bamboo-bft/bamboo/internal/kvstore"
 	"github.com/bamboo-bft/bamboo/internal/ledger"
 	"github.com/bamboo-bft/bamboo/internal/metrics"
@@ -35,6 +56,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/protocol"
 	"github.com/bamboo-bft/bamboo/internal/safety"
 	"github.com/bamboo-bft/bamboo/internal/types"
+	"github.com/bamboo-bft/bamboo/internal/workload"
 )
 
 // Core configuration and deployment types.
@@ -107,6 +129,87 @@ type (
 
 // ModelParams parameterizes the Section V analytic performance model.
 type ModelParams = model.Params
+
+// Declarative experiment types: a scenario is data, executed by Run.
+type (
+	// Experiment declares one complete scenario: configuration,
+	// workload, fault schedule, and measurement plan.
+	Experiment = harness.Experiment
+	// MeasurePlan declares how a scenario is loaded and measured.
+	MeasurePlan = harness.MeasurePlan
+	// FaultEvent is one timed entry of a fault schedule.
+	FaultEvent = harness.FaultEvent
+	// FaultSchedule is an ordered set of timed fault events.
+	FaultSchedule = harness.FaultSchedule
+	// Result is the structured, JSON-marshalable outcome of Run.
+	Result = harness.Result
+	// ResultPoint is one measured datum of a result.
+	ResultPoint = harness.Point
+	// NetworkStats totals the switch counters of a run.
+	NetworkStats = harness.NetworkStats
+	// WorkloadSpec declares a transaction generator as data.
+	WorkloadSpec = workload.Spec
+	// WorkloadGenerator produces benchmark transaction commands;
+	// install a custom one with Client.SetWorkload.
+	WorkloadGenerator = workload.Generator
+)
+
+// Workload kinds for WorkloadSpec.Kind.
+const (
+	WorkloadNoop   = workload.KindNoop
+	WorkloadKV     = workload.KindKV
+	WorkloadKVBank = workload.KindKVBank
+)
+
+// WorkloadAccount returns the store key of kvbank account i.
+func WorkloadAccount(i int) string { return workload.Account(i) }
+
+// Leader-election modes for Experiment.Election.
+const (
+	ElectionRoundRobin = harness.ElectionRoundRobin
+	ElectionHashed     = harness.ElectionHashed
+)
+
+// Run executes a declared experiment and returns its structured
+// result — the framework's evaluation entry point.
+func Run(exp Experiment) (*Result, error) { return harness.Run(exp) }
+
+// Fault-schedule constructors: each returns one timed event whose
+// offset is measured from cluster start.
+func PartitionAt(at time.Duration, groups map[NodeID]int) FaultEvent {
+	return harness.PartitionAt(at, groups)
+}
+
+// HealAt removes every partition at offset at.
+func HealAt(at time.Duration) FaultEvent { return harness.HealAt(at) }
+
+// CrashAt silences the named replicas at offset at.
+func CrashAt(at time.Duration, nodes ...NodeID) FaultEvent {
+	return harness.CrashAt(at, nodes...)
+}
+
+// RestartAt undoes a crash of the named replicas at offset at.
+func RestartAt(at time.Duration, nodes ...NodeID) FaultEvent {
+	return harness.RestartAt(at, nodes...)
+}
+
+// FluctuateAt replaces the base link delay with Uniform(min, max) for
+// dur starting at offset at.
+func FluctuateAt(at, dur, min, max time.Duration) FaultEvent {
+	return harness.FluctuateAt(at, dur, min, max)
+}
+
+// SetDelayAt adds Normal(mean, std) delay to every message the named
+// replicas send, from offset at.
+func SetDelayAt(at time.Duration, mean, std time.Duration, nodes ...NodeID) FaultEvent {
+	return harness.SetDelayAt(at, mean, std, nodes...)
+}
+
+// SetDropRateAt makes every message independently lost with
+// probability rate from offset at.
+func SetDropRateAt(at time.Duration, rate float64) FaultEvent {
+	return harness.SetDropRateAt(at, rate)
+}
 
 // Built-in protocol names for Config.Protocol.
 const (

@@ -1,6 +1,7 @@
 package bamboo_test
 
 import (
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -133,5 +134,56 @@ func TestUnknownProtocolRejected(t *testing.T) {
 	cfg.Protocol = "pbft"
 	if _, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{}); err == nil {
 		t.Fatal("unknown protocol accepted")
+	}
+}
+
+// TestExperimentFlow exercises the README's declarative path through
+// the public API only: a crash→restart timeline over the kvbank
+// workload, with a structured result that survives a JSON round trip.
+func TestExperimentFlow(t *testing.T) {
+	cfg := bamboo.DefaultConfig()
+	cfg.Protocol = bamboo.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.N = 5
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 20
+	cfg.MemSize = 10000
+
+	res, err := bamboo.Run(bamboo.Experiment{
+		Name:     "api-flow",
+		Config:   cfg,
+		Workload: bamboo.WorkloadSpec{Kind: bamboo.WorkloadKVBank, Accounts: 8},
+		Faults: bamboo.FaultSchedule{
+			// Crash a follower, not node 5: the harness measures
+			// throughput at the highest-ID (observer) replica.
+			bamboo.CrashAt(300*time.Millisecond, 2),
+			bamboo.RestartAt(700*time.Millisecond, 2),
+		},
+		Measure: bamboo.MeasurePlan{
+			Warmup:       100 * time.Millisecond,
+			Window:       1200 * time.Millisecond,
+			Concurrency:  8,
+			PerOpTimeout: 400 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent || res.Violations != 0 {
+		t.Fatalf("inconsistent run: %+v", res)
+	}
+	if res.Points[0].Throughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bamboo.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "api-flow" || len(back.Points) != 1 {
+		t.Fatalf("result did not round-trip: %+v", back)
 	}
 }

@@ -1,22 +1,28 @@
 // Command bamboo-bench regenerates the paper's evaluation (Section
 // VI) on this machine: Table II, Figures 8-15, and the ablation
-// studies, printing rows/series in the shape the paper reports.
+// studies, printing rows/series in the shape the paper reports. Every
+// experiment runs through the declarative harness, so alongside the
+// human-readable rows the structured results can be exported as JSON
+// for regression tracking and plotting.
 //
 // Usage:
 //
-//	bamboo-bench [-scale 0.25] [-seed 1] table2 fig8 fig9 ... | all
+//	bamboo-bench [-scale 0.25] [-seed 1] [-json dir] table2 fig8 ... | all
 //
 // -scale 1 runs paper-like durations; smaller values shrink every
-// warmup/measurement window proportionally. `all` runs everything in
-// order. See EXPERIMENTS.md for the recorded paper-vs-measured
-// comparison.
+// warmup/measurement window proportionally. -json writes one
+// BENCH_<experiment>.json file per selected experiment into the given
+// directory (created if missing), each an array of harness Results.
+// `all` runs everything in order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/bench"
@@ -47,8 +53,9 @@ var experiments = []struct {
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.25, "duration scale; 1.0 = paper-like run lengths")
-		seed  = flag.Int64("seed", 1, "workload and key seed")
+		scale   = flag.Float64("scale", 0.25, "duration scale; 1.0 = paper-like run lengths")
+		seed    = flag.Int64("seed", 1, "workload and key seed")
+		jsonDir = flag.String("json", "", "directory for BENCH_<experiment>.json result files")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bamboo-bench [flags] <experiment>... | all\n\nexperiments:\n")
@@ -84,6 +91,12 @@ func main() {
 		}
 		selected[a] = true
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			log.SetFlags(0)
+			log.Fatalf("bamboo-bench: %v", err)
+		}
+	}
 
 	runner := bench.NewRunner(os.Stdout, *scale, *seed)
 	for _, e := range experiments {
@@ -97,5 +110,25 @@ func main() {
 			log.Fatalf("bamboo-bench: %s: %v", e.name, err)
 		}
 		fmt.Printf("=== %s done in %v ===\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		results := runner.TakeResults()
+		if *jsonDir == "" {
+			continue
+		}
+		for _, res := range results {
+			if res.Name == "" {
+				res.Name = e.name
+			}
+		}
+		path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", e.name))
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			log.SetFlags(0)
+			log.Fatalf("bamboo-bench: marshal %s: %v", e.name, err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.SetFlags(0)
+			log.Fatalf("bamboo-bench: %v", err)
+		}
+		fmt.Printf("wrote %s (%d results)\n\n", path, len(results))
 	}
 }

@@ -51,24 +51,19 @@ func attackRun(proto string) (cgr, bi float64, committed uint64, err error) {
 	cfg.CryptoScheme = "hmac"
 	cfg.Timeout = 150 * time.Millisecond
 
-	c, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{})
+	res, err := bamboo.Run(bamboo.Experiment{
+		Name:   "byzantine-" + proto,
+		Config: cfg,
+		Measure: bamboo.MeasurePlan{
+			Window:       3 * time.Second,
+			Concurrency:  16,
+			PerOpTimeout: 2 * time.Second,
+		},
+	})
 	if err != nil {
+		// Run fails on safety violations and inconsistency, so a nil
+		// error means the forking attack never broke agreement.
 		return 0, 0, 0, err
 	}
-	c.Start()
-	defer c.Stop()
-	client, err := c.NewClient()
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	client.RunClosedLoop(16, 2*time.Second)
-	time.Sleep(3 * time.Second)
-	if err := c.ConsistencyCheck(); err != nil {
-		return 0, 0, 0, err
-	}
-	if v := c.Violations(); v != 0 {
-		return 0, 0, 0, fmt.Errorf("%d safety violations", v)
-	}
-	stats := c.AggregateChain()
-	return stats.CGR, stats.BI, stats.BlocksCommitted, nil
+	return res.Chain.CGR, res.Chain.BI, res.Chain.BlocksCommitted, nil
 }

@@ -1,28 +1,26 @@
 // KVBank: the paper's motivating payments workload. A replicated
-// in-memory bank runs over two-chain HotStuff: accounts are seeded,
-// then concurrent clients issue transfers as SET commands through
-// consensus; at the end every replica's store must agree and the
-// total balance must be conserved.
+// in-memory bank runs over two-chain HotStuff: the kvbank workload
+// generator streams transfers through consensus; transfers execute
+// atomically inside every replica's state machine, materializing
+// accounts at an implicit initial balance on first touch (so there is
+// no seeding phase to lose), with insufficient funds applying as
+// no-ops. At the end every store must agree and the total balance
+// must be conserved — under any subset and ordering of commits.
 //
 //	go run ./examples/kvbank
 package main
 
 import (
-	"encoding/binary"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	bamboo "github.com/bamboo-bft/bamboo"
-	"github.com/bamboo-bft/bamboo/internal/kvstore"
-	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
 const (
 	accounts       = 16
 	initialBalance = 1000
-	transfers      = 300
 )
 
 func main() {
@@ -32,82 +30,79 @@ func main() {
 	}
 }
 
-// account keys are "acct00".."acct15"; balances are big-endian uint64.
-func key(i int) string { return fmt.Sprintf("acct%02d", i) }
-
-func encodeBalance(v uint64) []byte {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], v)
-	return b[:]
-}
-
 func run() error {
 	cfg := bamboo.DefaultConfig()
 	cfg.Protocol = bamboo.ProtocolTwoChainHS
 	cfg.ApplyProtocolDefaults()
 	cfg.BlockSize = 50
 	cfg.MemSize = 1 << 14
+
+	spec := bamboo.WorkloadSpec{
+		Kind:           bamboo.WorkloadKVBank,
+		Accounts:       accounts,
+		InitialBalance: initialBalance,
+		MaxTransfer:    50,
+	}
+	gen, err := spec.New(cfg.PayloadSize, cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	// The audit below reads every replica's store, so this example
+	// drives the cluster API directly and plugs the workload into the
+	// benchmark client.
 	c, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{WithStores: true})
 	if err != nil {
 		return err
 	}
 	c.Start()
 	defer c.Stop()
-
-	// The bank's ledger state lives in the replicated KV store; the
-	// "teller" below reads one replica's store to compute transfer
-	// outcomes and submits the resulting balances through consensus.
-	// (A production system would execute transfers inside the state
-	// machine; protocol-level evaluation is the point here, as in the
-	// paper's in-memory KV setup.)
-	node := c.Node(c.Observer())
-	store := c.Store(c.Observer())
-
-	submit := func(cmd []byte) {
-		node.Submit(types.Transaction{
-			ID:             types.TxID{Client: 77, Seq: nextSeq()},
-			Command:        cmd,
-			SubmitUnixNano: time.Now().UnixNano(),
-		})
+	client, err := c.NewClient()
+	if err != nil {
+		return err
 	}
+	client.SetWorkload(gen)
 
-	fmt.Printf("seeding %d accounts with %d each...\n", accounts, initialBalance)
-	for i := 0; i < accounts; i++ {
-		submit(kvstore.EncodeSet(key(i), encodeBalance(initialBalance), 0))
-	}
-	waitApplied(store, accounts)
+	fmt.Printf("streaming transfers over %d accounts for 3 seconds...\n", accounts)
+	client.RunClosedLoop(8, 2*time.Second)
+	time.Sleep(3 * time.Second)
+	committed := client.Committed()
 
-	fmt.Printf("running %d transfers...\n", transfers)
-	rng := rand.New(rand.NewSource(7))
-	done := 0
-	for done < transfers {
-		from, to := rng.Intn(accounts), rng.Intn(accounts)
-		if from == to {
-			continue
+	// Quiesce before auditing: stop the load, then wait for the
+	// observer's applied count to stabilize (in-flight blocks drain)
+	// so the balance reads are not torn by concurrent transfers.
+	client.Stop()
+	observer := c.Store(c.Observer())
+	settled := observer.Applied()
+	for stable := 0; stable < 3; {
+		time.Sleep(50 * time.Millisecond)
+		if n := observer.Applied(); n == settled {
+			stable++
+		} else {
+			settled, stable = n, 0
 		}
-		amount := uint64(rng.Intn(50) + 1)
-		fb := balance(store, key(from))
-		if fb < amount {
-			continue
-		}
-		tb := balance(store, key(to))
-		// Two balance writes ordered by consensus; both land in the
-		// same or later blocks, applied identically on every replica.
-		submit(kvstore.EncodeSet(key(from), encodeBalance(fb-amount), 0))
-		submit(kvstore.EncodeSet(key(to), encodeBalance(tb+amount), 0))
-		waitApplied(store, uint64(accounts+2*(done+1)))
-		done++
 	}
 
 	// Audit: conservation of money on every replica, identical state.
+	// Untouched accounts count at the implicit initial balance;
+	// replicas may trail the observer by a block, so wait for them.
+	// A straggler block applying mid-sum would tear it, so each sum
+	// is retried until the replica's applied count is unchanged
+	// across the read.
 	want := uint64(accounts * initialBalance)
 	for i := 1; i <= cfg.N; i++ {
 		s := c.Store(bamboo.NodeID(i))
-		// Replicas may trail the teller's store by a block; wait.
-		waitApplied(s, store.Applied())
+		waitApplied(s, settled)
 		var total uint64
-		for a := 0; a < accounts; a++ {
-			total += balance(s, key(a))
+		for {
+			before := s.Applied()
+			total = 0
+			for a := 0; a < accounts; a++ {
+				total += s.BalanceOr(bamboo.WorkloadAccount(a), initialBalance)
+			}
+			if s.Applied() == before {
+				break
+			}
 		}
 		if total != want {
 			return fmt.Errorf("replica %d: total %d, want %d — money not conserved", i, total, want)
@@ -116,22 +111,9 @@ func run() error {
 	if err := c.ConsistencyCheck(); err != nil {
 		return err
 	}
-	fmt.Printf("done: %d transfers, %d total balance conserved on all %d replicas ✓\n",
-		transfers, want, cfg.N)
+	fmt.Printf("done: %d committed transactions, %d total balance conserved on all %d replicas ✓\n",
+		committed, want, cfg.N)
 	return nil
-}
-
-var seq uint64
-
-func nextSeq() uint64 { seq++; return seq }
-
-// balance reads an account balance from a store.
-func balance(s *bamboo.Store, k string) uint64 {
-	v, ok := s.Get(k)
-	if !ok || len(v) != 8 {
-		return 0
-	}
-	return binary.BigEndian.Uint64(v)
 }
 
 // waitApplied blocks until the store has applied at least n commands.

@@ -1,6 +1,6 @@
-// Quickstart: spin up a 4-node HotStuff cluster in one process,
-// submit transactions from a closed-loop client for a few seconds,
-// and print throughput, latency, and the chain micro-metrics.
+// Quickstart: declare a 4-node HotStuff experiment, run it for a few
+// seconds, and print throughput, latency, and the chain micro-metrics
+// from the structured result.
 //
 //	go run ./examples/quickstart
 package main
@@ -29,33 +29,24 @@ func run() error {
 	cfg.Delay = 200 * time.Microsecond // simulate same-datacenter links
 	cfg.DelayStd = 50 * time.Microsecond
 
-	c, err := bamboo.NewCluster(cfg, bamboo.ClusterOptions{})
-	if err != nil {
-		return err
-	}
-	c.Start()
-	defer c.Stop()
-
-	client, err := c.NewClient()
-	if err != nil {
-		return err
-	}
 	fmt.Println("running 4-node HotStuff for 3 seconds...")
-	client.RunClosedLoop(16, 5*time.Second)
-	time.Sleep(3 * time.Second)
-
-	status := c.Node(c.Observer()).Status()
-	chain := c.AggregateChain()
-	lat := client.Latency().Snapshot()
-	fmt.Printf("committed height:  %d blocks (view %d)\n", status.CommittedHeight, status.CurView)
-	fmt.Printf("transactions:      %d committed (%.0f Tx/s)\n",
-		client.Committed(), float64(client.Committed())/3.0)
-	fmt.Printf("client latency:    mean %v  p50 %v  p99 %v\n", lat.Mean, lat.P50, lat.P99)
-	fmt.Printf("chain growth rate: %.3f   block interval: %.2f views\n", chain.CGR, chain.BI)
-
-	if err := c.ConsistencyCheck(); err != nil {
-		return fmt.Errorf("replicas diverged: %w", err)
+	res, err := bamboo.Run(bamboo.Experiment{
+		Name:    "quickstart",
+		Config:  cfg,
+		Measure: bamboo.MeasurePlan{Window: 3 * time.Second, Concurrency: 16},
+	})
+	if err != nil {
+		return err
 	}
+
+	p := res.Points[0]
+	fmt.Printf("throughput:        %.0f Tx/s over %d committed blocks\n", p.Throughput, p.Blocks)
+	fmt.Printf("client latency:    mean %v  p50 %v  p99 %v\n", p.Mean, p.P50, p.P99)
+	fmt.Printf("chain growth rate: %.3f   block interval: %.2f views\n", p.CGR, p.BI)
+	fmt.Printf("network:           %d messages, %d bytes\n", res.Network.Msgs, res.Network.Bytes)
+
+	// Run returns an error for inconsistent runs, so reaching here
+	// means the cross-replica consistency check passed.
 	fmt.Println("all replicas agree on the committed chain ✓")
 	return nil
 }

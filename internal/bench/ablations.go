@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/bamboo-bft/bamboo/internal/cluster"
 	"github.com/bamboo-bft/bamboo/internal/config"
-	"github.com/bamboo-bft/bamboo/internal/election"
+	"github.com/bamboo-bft/bamboo/internal/harness"
 )
 
 // RunAblationCrypto quantifies the signature scheme's share of the
@@ -119,37 +118,16 @@ func (r *Runner) RunAblationClientFanout() error {
 		cfg := r.substrate()
 		cfg.Protocol = config.ProtocolHotStuff
 		cfg.ApplyProtocolDefaults()
-		c, err := cluster.New(cfg, cluster.Options{})
+		p, err := r.measureWith(cfg, 64, 0, warm, window, measureOpt{fanout: fanout})
 		if err != nil {
-			return err
-		}
-		c.Start()
-		cl, err := c.NewClient()
-		if err != nil {
-			c.Stop()
-			return err
-		}
-		cl.SetFanout(fanout)
-		cl.RunClosedLoop(64, 5*time.Second)
-		time.Sleep(warm)
-		cl.Latency().Reset()
-		startTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
-		start := time.Now()
-		time.Sleep(window)
-		elapsed := time.Since(start)
-		endTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
-		lat := cl.Latency().Snapshot()
-		err = c.ConsistencyCheck()
-		c.Stop()
-		if err != nil {
-			return err
+			return fmt.Errorf("ablation fanout %v: %w", fanout, err)
 		}
 		mode := "single"
 		if fanout {
 			mode = "broadcast"
 		}
 		r.printf("%-10s tput=%7s KTx/s  lat=%8s ms\n",
-			mode, fmtKTx(float64(endTx-startTx)/elapsed.Seconds()), fmtMS(lat.Mean))
+			mode, fmtKTx(p.Throughput), fmtMS(p.Mean))
 	}
 	return nil
 }
@@ -162,40 +140,16 @@ func (r *Runner) RunAblationClientFanout() error {
 func (r *Runner) RunAblationElection() error {
 	r.printf("Ablation: leader election (round-robin vs hash-based, HotStuff n=4)\n")
 	warm, window := r.scaled(800*time.Millisecond), r.scaled(2*time.Second)
-	for _, mode := range []string{"round-robin", "hashed"} {
+	for _, mode := range []string{harness.ElectionRoundRobin, harness.ElectionHashed} {
 		cfg := r.substrate()
 		cfg.Protocol = config.ProtocolHotStuff
 		cfg.ApplyProtocolDefaults()
-		opts := cluster.Options{}
-		if mode == "hashed" {
-			opts.Elector = election.NewHashed(cfg.N, cfg.Seed)
-		}
-		c, err := cluster.New(cfg, opts)
+		p, err := r.measureWith(cfg, 64, 0, warm, window, measureOpt{election: mode})
 		if err != nil {
-			return err
-		}
-		c.Start()
-		cl, err := c.NewClient()
-		if err != nil {
-			c.Stop()
-			return err
-		}
-		cl.RunClosedLoop(64, 5*time.Second)
-		time.Sleep(warm)
-		cl.Latency().Reset()
-		startTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
-		start := time.Now()
-		time.Sleep(window)
-		elapsed := time.Since(start)
-		endTx := c.Node(c.Observer()).Tracker().Snapshot().TxCommitted
-		lat := cl.Latency().Snapshot()
-		err = c.ConsistencyCheck()
-		c.Stop()
-		if err != nil {
-			return err
+			return fmt.Errorf("ablation election %s: %w", mode, err)
 		}
 		r.printf("%-12s tput=%7s KTx/s  lat=%8s ms  p99=%8s ms\n",
-			mode, fmtKTx(float64(endTx-startTx)/elapsed.Seconds()), fmtMS(lat.Mean), fmtMS(lat.P99))
+			mode, fmtKTx(p.Throughput), fmtMS(p.Mean), fmtMS(p.P99))
 	}
 	return nil
 }
@@ -209,37 +163,13 @@ type msgPoint struct {
 func (r *Runner) measureWithMessages(cfg config.Config, concurrency int,
 	warm, window time.Duration) (msgPoint, error) {
 
-	var out msgPoint
-	c, err := cluster.New(cfg, cluster.Options{})
+	p, err := r.measure(cfg, concurrency, 0, warm, window)
 	if err != nil {
-		return out, err
+		return msgPoint{}, err
 	}
-	c.Start()
-	defer c.Stop()
-	cl, err := c.NewClient()
-	if err != nil {
-		return out, err
-	}
-	cl.RunClosedLoop(concurrency, 5*time.Second)
-	time.Sleep(warm)
-	cl.Latency().Reset()
-	obs := c.Node(c.Observer())
-	startTx := obs.Tracker().Snapshot()
-	startMsgs, _, _ := c.NetworkStats()
-	start := time.Now()
-	time.Sleep(window)
-	elapsed := time.Since(start)
-	endTx := obs.Tracker().Snapshot()
-	endMsgs, _, _ := c.NetworkStats()
-	lat := cl.Latency().Snapshot()
-	out.point = Point{
-		Offered:    float64(concurrency),
-		Throughput: float64(endTx.TxCommitted-startTx.TxCommitted) / elapsed.Seconds(),
-		Mean:       lat.Mean, P50: lat.P50, P99: lat.P99,
-	}
-	blocks := float64(endTx.BlocksCommitted - startTx.BlocksCommitted)
-	if blocks > 0 {
-		out.msgsPerBlock = float64(endMsgs-startMsgs) / blocks
+	out := msgPoint{point: p}
+	if p.Blocks > 0 {
+		out.msgsPerBlock = float64(p.NetMsgs) / float64(p.Blocks)
 	}
 	return out, nil
 }

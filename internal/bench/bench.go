@@ -18,16 +18,18 @@ import (
 	"math"
 	"time"
 
-	"github.com/bamboo-bft/bamboo/internal/cluster"
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/crypto"
-	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/harness"
 	"github.com/bamboo-bft/bamboo/internal/model"
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
-// Runner executes experiments and writes human-readable rows.
+// Runner executes experiments and writes human-readable rows. Every
+// measurement goes through the harness (harness.Run), and the
+// structured results accumulate for machine-readable export
+// (TakeResults, the -json flag of cmd/bamboo-bench).
 type Runner struct {
 	// Out receives the result rows.
 	Out io.Writer
@@ -44,6 +46,10 @@ type Runner struct {
 	ByzLevels []int
 	// Levels overrides the closed-loop concurrency ladder.
 	Levels []int
+
+	// results accumulates the structured outcome of every harness
+	// run since the last TakeResults call.
+	results []*harness.Result
 }
 
 func (r *Runner) ns() []int {
@@ -110,25 +116,9 @@ func (r *Runner) substrate() config.Config {
 	return cfg
 }
 
-// Point is one measured datum of a throughput/latency experiment.
-type Point struct {
-	// Offered is the offered load: concurrency for closed-loop
-	// runs, transactions/second for open-loop runs.
-	Offered float64
-	// Throughput is committed transactions/second observed at the
-	// observer replica.
-	Throughput float64
-	// Mean, P50, P99 are client-side latencies.
-	Mean time.Duration
-	P50  time.Duration
-	P99  time.Duration
-	// CGR and BI are the chain micro-metrics over the window.
-	CGR float64
-	BI  float64
-	// Pipeline sums the pipeline stage counters over honest replicas
-	// (all zero when the pipeline stages are disabled).
-	Pipeline metrics.PipelineStats
-}
+// Point is one measured datum of a throughput/latency experiment —
+// the harness's structured point.
+type Point = harness.Point
 
 // measureOpt tunes a measurement run beyond the cluster config.
 type measureOpt struct {
@@ -138,6 +128,40 @@ type measureOpt struct {
 	// stores attaches a kvstore execution layer to every replica so
 	// the commit-apply stage has real work.
 	stores bool
+	// election selects the leader-election design ("" keeps the
+	// configuration default).
+	election string
+}
+
+// record accumulates a harness result for TakeResults.
+func (r *Runner) record(res *harness.Result) {
+	if res != nil {
+		r.results = append(r.results, res)
+	}
+}
+
+// TakeResults returns every structured result collected since the
+// last call and resets the collector — cmd/bamboo-bench drains it
+// after each experiment to write the -json files.
+func (r *Runner) TakeResults() []*harness.Result {
+	out := r.results
+	r.results = nil
+	return out
+}
+
+// experiment assembles the harness declaration shared by every bench
+// measurement.
+func (r *Runner) experiment(cfg config.Config, warm, window time.Duration, opt measureOpt) harness.Experiment {
+	return harness.Experiment{
+		Config: cfg,
+		Measure: harness.MeasurePlan{
+			Warmup:     warm,
+			Window:     window,
+			Fanout:     opt.fanout,
+			WithStores: opt.stores,
+		},
+		Election: opt.election,
+	}
 }
 
 // measure runs one experiment point. If rate > 0 an open-loop Poisson
@@ -148,72 +172,32 @@ func (r *Runner) measure(cfg config.Config, concurrency int, rate float64,
 	return r.measureWith(cfg, concurrency, rate, warm, window, measureOpt{})
 }
 
-// measureWith is measure with per-run options.
+// measureWith is measure with per-run options, expressed as a
+// single-point harness experiment.
 func (r *Runner) measureWith(cfg config.Config, concurrency int, rate float64,
 	warm, window time.Duration, opt measureOpt) (Point, error) {
 
-	var p Point
-	c, err := cluster.New(cfg, cluster.Options{WithStores: opt.stores})
+	exp := r.experiment(cfg, warm, window, opt)
+	exp.Measure.Concurrency = concurrency
+	exp.Measure.Rate = rate
+	res, err := harness.Run(exp)
+	r.record(res)
 	if err != nil {
-		return p, err
+		return Point{}, err
 	}
-	c.Start()
-	defer c.Stop()
-	cl, err := c.NewClient()
-	if err != nil {
-		return p, err
-	}
-	cl.SetFanout(opt.fanout)
-	if rate > 0 {
-		p.Offered = rate
-		cl.RunOpenLoop(rate)
-	} else {
-		p.Offered = float64(concurrency)
-		cl.RunClosedLoop(concurrency, 5*time.Second)
-	}
-	time.Sleep(warm)
-	cl.Latency().Reset()
-	observer := c.Node(c.Observer())
-	startTx := observer.Tracker().Snapshot().TxCommitted
-	start := time.Now()
-	time.Sleep(window)
-	elapsed := time.Since(start)
-	endTx := observer.Tracker().Snapshot().TxCommitted
-	lat := cl.Latency().Snapshot()
-	chain := c.AggregateChain()
-
-	p.Throughput = float64(endTx-startTx) / elapsed.Seconds()
-	p.Mean, p.P50, p.P99 = lat.Mean, lat.P50, lat.P99
-	p.CGR, p.BI = chain.CGR, chain.BI
-	p.Pipeline = c.AggregatePipeline()
-	if err := c.ConsistencyCheck(); err != nil {
-		return p, err
-	}
-	if v := c.Violations(); v != 0 {
-		return p, fmt.Errorf("bench: %d safety violations", v)
-	}
-	return p, nil
+	return res.Points[0], nil
 }
 
 // sweepClosed raises closed-loop concurrency until throughput stops
 // improving (the paper's "increase concurrency until saturated"),
 // returning all measured points.
 func (r *Runner) sweepClosed(cfg config.Config, levels []int, warm, window time.Duration) ([]Point, error) {
-	points := make([]Point, 0, len(levels))
-	var best float64
-	for _, lvl := range levels {
-		p, err := r.measure(cfg, lvl, 0, warm, window)
-		if err != nil {
-			return points, err
-		}
-		points = append(points, p)
-		if p.Throughput > best {
-			best = p.Throughput
-		} else if p.Throughput < 0.9*best && len(points) >= 3 {
-			break // clearly past saturation
-		}
-	}
-	return points, nil
+	exp := r.experiment(cfg, warm, window, measureOpt{})
+	exp.Measure.Levels = levels
+	exp.Measure.SaturationStop = true
+	res, err := harness.Run(exp)
+	r.record(res)
+	return res.Points, err
 }
 
 // calibrate measures the saturated closed-loop throughput of a

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/bamboo-bft/bamboo/internal/cluster"
 	"github.com/bamboo-bft/bamboo/internal/config"
-	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/harness"
 )
 
 // RunFigure15 regenerates the responsiveness experiment (Figure 15):
@@ -56,8 +55,10 @@ func (r *Runner) RunFigure15() error {
 	return nil
 }
 
-// runResponsivenessRun executes one timeline and returns the
-// committed-rate series.
+// runResponsivenessRun declares one timeline — steady closed-loop
+// load, a fluctuation window injected by the fault schedule, and a
+// config-delayed silence attack — and returns the committed-rate
+// series of the harness result.
 func (r *Runner) runResponsivenessRun(proto string, timeout time.Duration, responsive bool,
 	pre, fluct, post, bucket time.Duration) ([]float64, error) {
 
@@ -70,23 +71,23 @@ func (r *Runner) runResponsivenessRun(proto string, timeout time.Duration, respo
 	cfg.Strategy = config.StrategySilence
 	cfg.StrategyDelay = pre + fluct
 
-	series := metrics.NewTimeSeries(time.Now(), bucket)
-	c, err := cluster.New(cfg, cluster.Options{CommitSeries: series})
+	exp := harness.Experiment{
+		Name:   "fig15-" + proto,
+		Config: cfg,
+		Faults: harness.FaultSchedule{
+			harness.FluctuateAt(pre, fluct, 10*time.Millisecond, 100*time.Millisecond),
+		},
+		Measure: harness.MeasurePlan{
+			Window:       pre + fluct + post,
+			Concurrency:  64,
+			PerOpTimeout: time.Second,
+			Bucket:       bucket,
+		},
+	}
+	res, err := harness.Run(exp)
+	r.record(res)
 	if err != nil {
 		return nil, err
 	}
-	c.Conditions().Fluctuate(time.Now().Add(pre), fluct,
-		10*time.Millisecond, 100*time.Millisecond)
-	c.Start()
-	defer c.Stop()
-	cl, err := c.NewClient()
-	if err != nil {
-		return nil, err
-	}
-	cl.RunClosedLoop(64, time.Second)
-	time.Sleep(pre + fluct + post)
-	if err := c.ConsistencyCheck(); err != nil {
-		return nil, err
-	}
-	return series.Rates(), nil
+	return res.Series, nil
 }

@@ -12,10 +12,10 @@ import (
 	"sync"
 	"time"
 
-	"github.com/bamboo-bft/bamboo/internal/kvstore"
 	"github.com/bamboo-bft/bamboo/internal/metrics"
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/types"
+	"github.com/bamboo-bft/bamboo/internal/workload"
 )
 
 // Client submits transactions to randomly chosen replicas over an
@@ -27,6 +27,7 @@ type Client struct {
 	payloadSize int
 	rng         *rand.Rand
 	rngMu       sync.Mutex
+	gen         workload.Generator
 
 	latency   *metrics.Latency
 	committed metrics.Counter
@@ -56,6 +57,7 @@ func New(ep network.Transport, n, payloadSize int, seed int64) *Client {
 		n:           n,
 		payloadSize: payloadSize,
 		rng:         rand.New(rand.NewSource(seed)),
+		gen:         workload.NewNoop(payloadSize),
 		latency:     &metrics.Latency{},
 		waiters:     make(map[types.TxID]chan bool),
 		pendingOpen: make(map[types.TxID]time.Time),
@@ -115,15 +117,30 @@ func (c *Client) replyLoop() {
 	}
 }
 
-// nextTx builds a fresh benchmark transaction.
+// SetWorkload installs the command generator behind every submitted
+// transaction; nil restores the default padded no-op. Generators are
+// shared by all of the client's workers, so the installed value must
+// be safe for concurrent use (the workload built-ins are).
+func (c *Client) SetWorkload(g workload.Generator) {
+	if g == nil {
+		g = workload.NewNoop(c.payloadSize)
+	}
+	c.mu.Lock()
+	c.gen = g
+	c.mu.Unlock()
+}
+
+// nextTx builds a fresh benchmark transaction from the workload
+// generator.
 func (c *Client) nextTx() types.Transaction {
 	c.mu.Lock()
 	c.seq++
 	seq := c.seq
+	gen := c.gen
 	c.mu.Unlock()
 	return types.Transaction{
 		ID:             types.TxID{Client: c.id, Seq: seq},
-		Command:        kvstore.EncodeNoop(c.payloadSize),
+		Command:        gen.Next(),
 		SubmitUnixNano: time.Now().UnixNano(),
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/client"
@@ -55,6 +56,8 @@ type Cluster struct {
 	ledgers []*ledger.Ledger
 	clients []*client.Client
 	nextCli uint64
+
+	stopOnce sync.Once
 }
 
 // New assembles a cluster from the run configuration. Replicas are
@@ -128,20 +131,24 @@ func (c *Cluster) Start() {
 }
 
 // Stop halts clients first, then replicas, then the switch scheduler,
-// then flushes and closes any ledgers.
+// then flushes and closes any ledgers. Stop is idempotent: the
+// harness's defer-based teardown and explicit shutdown paths may both
+// call it; only the first call acts.
 func (c *Cluster) Stop() {
-	for _, cl := range c.clients {
-		cl.Stop()
-	}
-	c.clients = nil
-	for _, n := range c.nodes {
-		n.Stop()
-	}
-	c.sw.Close()
-	for _, led := range c.ledgers {
-		_ = led.Close()
-	}
-	c.ledgers = nil
+	c.stopOnce.Do(func() {
+		for _, cl := range c.clients {
+			cl.Stop()
+		}
+		c.clients = nil
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+		c.sw.Close()
+		for _, led := range c.ledgers {
+			_ = led.Close()
+		}
+		c.ledgers = nil
+	})
 }
 
 // Node returns a replica by ID.

@@ -1,0 +1,27 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+)
+
+// TestStopIsIdempotent: the harness's defer-based teardown and
+// explicit shutdown paths may both call Stop; the second and later
+// calls must be no-ops instead of re-closing the switch and ledgers.
+func TestStopIsIdempotent(t *testing.T) {
+	cfg := testConfig(config.ProtocolHotStuff)
+	c, err := New(cfg, Options{LedgerDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	drive(t, c, 4, 300*time.Millisecond)
+	c.Stop()
+	c.Stop() // must not panic or double-close
+	c.Stop()
+	if err := c.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

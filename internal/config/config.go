@@ -179,7 +179,7 @@ func Quorum(n int) int {
 	return n - MaxFaults(n)
 }
 
-// Quorum returns the configured cluster's vote threshold.
+// Quorum returns Quorum(c.N) for this configuration's cluster size.
 func (c *Config) Quorum() int { return Quorum(c.N) }
 
 // MaxFaults returns f = ⌊(n−1)/3⌋, the tolerated Byzantine faults.
@@ -210,6 +210,9 @@ func (c *Config) Validate() error {
 	if c.BlockSize <= 0 {
 		return errors.New("config: block size must be positive")
 	}
+	if c.MemSize <= 0 {
+		return fmt.Errorf("config: memsize must be positive, have %d", c.MemSize)
+	}
 	if c.MemSize < c.BlockSize {
 		return fmt.Errorf("config: memsize %d smaller than block size %d", c.MemSize, c.BlockSize)
 	}
@@ -218,6 +221,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Timeout <= 0 {
 		return errors.New("config: timeout must be positive")
+	}
+	if c.Runtime <= 0 {
+		return errors.New("config: runtime must be positive")
 	}
 	if c.Concurrency < 0 {
 		return errors.New("config: concurrency must be non-negative")

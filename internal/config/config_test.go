@@ -86,6 +86,10 @@ func TestValidateRejections(t *testing.T) {
 		{"mempool under block", func(c *Config) { c.MemSize = 10 }},
 		{"negative payload", func(c *Config) { c.PayloadSize = -1 }},
 		{"zero timeout", func(c *Config) { c.Timeout = 0 }},
+		{"zero runtime", func(c *Config) { c.Runtime = 0 }},
+		{"negative runtime", func(c *Config) { c.Runtime = -time.Second }},
+		{"zero mempool", func(c *Config) { c.MemSize = 0 }},
+		{"negative mempool", func(c *Config) { c.MemSize = -1 }},
 		{"negative concurrency", func(c *Config) { c.Concurrency = -1 }},
 		{"master out of range", func(c *Config) { c.Master = 9 }},
 		{"address count mismatch", func(c *Config) {

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Fault event kinds. Each compiles onto one network.Conditions call
+// when its offset elapses.
+const (
+	FaultPartition = "partition"
+	FaultHeal      = "heal"
+	FaultCrash     = "crash"
+	FaultRestart   = "restart"
+	FaultFluctuate = "fluctuate"
+	FaultDelay     = "delay"
+	FaultDrop      = "drop"
+)
+
+// FaultEvent is one timed entry of a fault schedule: at offset At
+// from experiment start, the named condition change is applied. Build
+// events with the *At constructors; the fields are exported so a
+// schedule survives a JSON round trip.
+type FaultEvent struct {
+	// At is the offset from experiment (cluster) start.
+	At time.Duration `json:"at"`
+	// Kind names the condition change (Fault* constants).
+	Kind string `json:"kind"`
+	// Groups maps nodes to partition groups (partition events).
+	Groups map[types.NodeID]int `json:"groups,omitempty"`
+	// Nodes lists the affected replicas (crash/restart/delay events).
+	Nodes []types.NodeID `json:"nodes,omitempty"`
+	// Dur bounds a fluctuation window.
+	Dur time.Duration `json:"dur,omitempty"`
+	// Min and Max bound the uniform fluctuation delay.
+	Min time.Duration `json:"min,omitempty"`
+	Max time.Duration `json:"max,omitempty"`
+	// Mean and Std shape a per-node extra delay (delay events).
+	Mean time.Duration `json:"mean,omitempty"`
+	Std  time.Duration `json:"std,omitempty"`
+	// Rate is the message drop probability (drop events).
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// PartitionAt splits the cluster into the given groups at offset at;
+// messages cross group boundaries only between nodes sharing a group
+// (unlisted nodes are group 0).
+func PartitionAt(at time.Duration, groups map[types.NodeID]int) FaultEvent {
+	return FaultEvent{At: at, Kind: FaultPartition, Groups: groups}
+}
+
+// HealAt removes every partition at offset at.
+func HealAt(at time.Duration) FaultEvent {
+	return FaultEvent{At: at, Kind: FaultHeal}
+}
+
+// CrashAt silences the named replicas at offset at: they neither send
+// nor receive until restarted.
+func CrashAt(at time.Duration, nodes ...types.NodeID) FaultEvent {
+	return FaultEvent{At: at, Kind: FaultCrash, Nodes: nodes}
+}
+
+// RestartAt undoes a crash of the named replicas at offset at.
+func RestartAt(at time.Duration, nodes ...types.NodeID) FaultEvent {
+	return FaultEvent{At: at, Kind: FaultRestart, Nodes: nodes}
+}
+
+// FluctuateAt replaces the base link delay with Uniform(min, max) for
+// dur starting at offset at — the responsiveness experiment's network
+// fluctuation.
+func FluctuateAt(at, dur, min, max time.Duration) FaultEvent {
+	return FaultEvent{At: at, Kind: FaultFluctuate, Dur: dur, Min: min, Max: max}
+}
+
+// SetDelayAt adds Normal(mean, std) delay to every message the named
+// replicas send, from offset at — the paper's "slow" run-time
+// command. Zero mean and std clears a previous delay.
+func SetDelayAt(at time.Duration, mean, std time.Duration, nodes ...types.NodeID) FaultEvent {
+	return FaultEvent{At: at, Kind: FaultDelay, Mean: mean, Std: std, Nodes: nodes}
+}
+
+// SetDropRateAt makes every message independently lost with
+// probability rate from offset at.
+func SetDropRateAt(at time.Duration, rate float64) FaultEvent {
+	return FaultEvent{At: at, Kind: FaultDrop, Rate: rate}
+}
+
+// FaultSchedule is an ordered set of timed fault events. Events fire
+// in At order (declaration order breaks ties).
+type FaultSchedule []FaultEvent
+
+// Validate reports the first malformed event.
+func (s FaultSchedule) Validate() error {
+	for i, ev := range s {
+		switch ev.Kind {
+		case FaultPartition, FaultHeal, FaultCrash, FaultRestart,
+			FaultFluctuate, FaultDelay, FaultDrop:
+		default:
+			return fmt.Errorf("harness: fault event %d has unknown kind %q", i, ev.Kind)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("harness: fault event %d (%s) has negative offset", i, ev.Kind)
+		}
+		if ev.Kind == FaultFluctuate {
+			if ev.Dur <= 0 {
+				return fmt.Errorf("harness: fluctuate event %d needs a positive duration", i)
+			}
+			if ev.Min > ev.Max {
+				return fmt.Errorf("harness: fluctuate event %d has min %v above max %v", i, ev.Min, ev.Max)
+			}
+		}
+		switch ev.Kind {
+		case FaultCrash, FaultRestart, FaultDelay:
+			// An event that names no replicas would fire as a silent
+			// no-op — a typo'd scenario must not run "green".
+			if len(ev.Nodes) == 0 {
+				return fmt.Errorf("harness: %s event %d names no replicas", ev.Kind, i)
+			}
+		case FaultPartition:
+			// Empty groups put every node back in group 0, i.e. a
+			// fully connected network — the same silent no-op.
+			if len(ev.Groups) == 0 {
+				return fmt.Errorf("harness: partition event %d declares no groups", i)
+			}
+		}
+		if ev.Rate < 0 || ev.Rate > 1 {
+			return fmt.Errorf("harness: drop event %d rate %v outside [0,1]", i, ev.Rate)
+		}
+	}
+	return nil
+}
+
+// apply compiles one event onto the condition model at fire time.
+func (ev FaultEvent) apply(cond *network.Conditions) {
+	switch ev.Kind {
+	case FaultPartition:
+		cond.Partition(ev.Groups)
+	case FaultHeal:
+		cond.Heal()
+	case FaultCrash:
+		for _, id := range ev.Nodes {
+			cond.Crash(id)
+		}
+	case FaultRestart:
+		for _, id := range ev.Nodes {
+			cond.Restart(id)
+		}
+	case FaultFluctuate:
+		cond.Fluctuate(time.Now(), ev.Dur, ev.Min, ev.Max)
+	case FaultDelay:
+		for _, id := range ev.Nodes {
+			cond.SetNodeDelay(id, ev.Mean, ev.Std)
+		}
+	case FaultDrop:
+		cond.SetDropRate(ev.Rate)
+	}
+}
+
+// run fires the schedule against the condition model from start, in
+// At order, until done or stop closes. onFire, when non-nil, observes
+// each event as it is applied (tests hook it).
+func (s FaultSchedule) run(cond *network.Conditions, start time.Time,
+	stop <-chan struct{}, onFire func(FaultEvent)) {
+
+	ordered := make(FaultSchedule, len(s))
+	copy(ordered, s)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for _, ev := range ordered {
+		wait := time.Until(start.Add(ev.At))
+		if wait > 0 {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-stop:
+				return
+			case <-timer.C:
+			}
+		}
+		ev.apply(cond)
+		if onFire != nil {
+			onFire(ev)
+		}
+	}
+}

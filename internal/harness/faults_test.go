@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// TestScheduleFiresInDeclaredOrder runs a deliberately shuffled
+// schedule against a real condition model and asserts events apply in
+// At order, each taking effect on the model.
+func TestScheduleFiresInDeclaredOrder(t *testing.T) {
+	sched := FaultSchedule{
+		HealAt(60 * time.Millisecond),
+		CrashAt(90*time.Millisecond, 2),
+		PartitionAt(20*time.Millisecond, map[types.NodeID]int{1: 1}),
+		SetDelayAt(40*time.Millisecond, time.Millisecond, 0, 3),
+	}
+	cond := network.NewConditions(1)
+	var fired []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sched.run(cond, time.Now(), nil, func(ev FaultEvent) {
+			fired = append(fired, ev.Kind)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule did not finish")
+	}
+	want := []string{FaultPartition, FaultDelay, FaultHeal, FaultCrash}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if !cond.IsCrashed(2) {
+		t.Fatal("crash event did not reach the condition model")
+	}
+}
+
+// TestScheduleTieBreaksByDeclaration: equal offsets fire in
+// declaration order (partition before its same-instant heal).
+func TestScheduleTieBreaksByDeclaration(t *testing.T) {
+	sched := FaultSchedule{
+		CrashAt(10*time.Millisecond, 4),
+		RestartAt(10*time.Millisecond, 4),
+	}
+	cond := network.NewConditions(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sched.run(cond, time.Now(), nil, nil)
+	}()
+	<-done
+	if cond.IsCrashed(4) {
+		t.Fatal("restart declared after crash at the same offset must win")
+	}
+}
+
+// TestScheduleStops: closing stop abandons pending events.
+func TestScheduleStops(t *testing.T) {
+	sched := FaultSchedule{CrashAt(time.Hour, 1)}
+	cond := network.NewConditions(1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sched.run(cond, time.Now(), stop, nil)
+	}()
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("scheduler ignored stop")
+	}
+	if cond.IsCrashed(1) {
+		t.Fatal("abandoned event applied")
+	}
+}

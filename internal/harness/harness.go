@@ -1,0 +1,369 @@
+// Package harness is the declarative experiment layer of Bamboo: an
+// Experiment combines a run configuration, a pluggable workload, a
+// timed fault schedule, and a measurement plan; Run executes it and
+// returns a structured, JSON-marshalable Result. A scenario is data,
+// not a bespoke main() — the bench runners, the cmd tools, and the
+// examples all build on this package.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/cluster"
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/election"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/workload"
+)
+
+// Election modes accepted by Experiment.Election.
+const (
+	ElectionRoundRobin = "round-robin"
+	ElectionHashed     = "hashed"
+)
+
+// Experiment declares one complete scenario.
+type Experiment struct {
+	// Name labels the experiment in results and reports.
+	Name string `json:"name,omitempty"`
+	// Config is the run configuration (Table I of the paper).
+	Config config.Config `json:"config"`
+	// Workload declares the transaction generator (default: padded
+	// no-op at Config.PayloadSize).
+	Workload workload.Spec `json:"workload"`
+	// Faults is the timed fault schedule, with offsets measured from
+	// the experiment epoch (just before cluster assembly — the same
+	// anchor as the committed-rate buckets).
+	Faults FaultSchedule `json:"faults,omitempty"`
+	// Measure is the measurement plan.
+	Measure MeasurePlan `json:"measure"`
+	// Election selects leader election: "" or "round-robin" keeps the
+	// configuration's default, "hashed" uses hash-based pseudo-random
+	// election (the Section V-E design choice).
+	Election string `json:"election,omitempty"`
+	// LedgerDir, when set, gives every replica a persistent ledger
+	// file of its committed chain under this directory.
+	LedgerDir string `json:"ledgerDir,omitempty"`
+}
+
+// MeasurePlan declares how a scenario is loaded and measured. Exactly
+// one load shape applies, checked in this order: Levels (closed-loop
+// concurrency ladder, a fresh cluster per level), Rates (open-loop
+// Poisson rate ladder), Rate (one open-loop run), else one
+// closed-loop run at Concurrency.
+type MeasurePlan struct {
+	// Warmup runs load without measuring before every window.
+	Warmup time.Duration `json:"warmup"`
+	// Window is the measured interval; 0 uses Config.Runtime.
+	Window time.Duration `json:"window"`
+	// Concurrency is the closed-loop worker count of a single run;
+	// 0 uses Config.Concurrency.
+	Concurrency int `json:"concurrency,omitempty"`
+	// Levels is the closed-loop concurrency ladder.
+	Levels []int `json:"levels,omitempty"`
+	// Rate is the open-loop arrival rate (transactions/second).
+	Rate float64 `json:"rate,omitempty"`
+	// Rates is the open-loop rate ladder.
+	Rates []float64 `json:"rates,omitempty"`
+	// PerOpTimeout bounds each closed-loop wait (default 5s).
+	PerOpTimeout time.Duration `json:"perOpTimeout,omitempty"`
+	// SaturationStop ends a Levels ladder early once throughput
+	// clearly degrades past its best (the paper's "increase
+	// concurrency until saturated").
+	SaturationStop bool `json:"saturationStop,omitempty"`
+	// Bucket, when positive, samples committed transactions into
+	// fixed-width time buckets from cluster start (Result.Series) —
+	// the responsiveness timeline of Figure 15.
+	Bucket time.Duration `json:"bucket,omitempty"`
+	// Fanout broadcasts each client transaction to every replica
+	// instead of one chosen at random (Section V-E).
+	Fanout bool `json:"fanout,omitempty"`
+	// WithStores attaches a kvstore execution layer to every replica
+	// even for workloads that do not require one.
+	WithStores bool `json:"withStores,omitempty"`
+}
+
+// Point is one measured datum of a throughput/latency experiment.
+type Point struct {
+	// Offered is the offered load: concurrency for closed-loop runs,
+	// transactions/second for open-loop runs.
+	Offered float64 `json:"offered"`
+	// Throughput is committed transactions/second observed at the
+	// observer replica over the window.
+	Throughput float64 `json:"throughput"`
+	// Mean, P50, P99 are client-side latencies (nanoseconds in JSON).
+	Mean time.Duration `json:"mean"`
+	P50  time.Duration `json:"p50"`
+	P99  time.Duration `json:"p99"`
+	// CGR and BI are the chain micro-metrics over the window.
+	CGR float64 `json:"cgr"`
+	BI  float64 `json:"bi"`
+	// Blocks is the observer's committed block count over the window.
+	Blocks uint64 `json:"blocks"`
+	// NetMsgs and NetBytes are switch-wide message totals over the
+	// window.
+	NetMsgs  uint64 `json:"netMsgs"`
+	NetBytes uint64 `json:"netBytes"`
+	// Pipeline sums the pipeline stage counters over honest replicas
+	// (all zero when the pipeline stages are disabled).
+	Pipeline metrics.PipelineStats `json:"pipeline"`
+}
+
+// NetworkStats are the switch-wide message counters of a whole run.
+type NetworkStats struct {
+	Msgs    uint64 `json:"msgs"`
+	Bytes   uint64 `json:"bytes"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Result is the structured outcome of one experiment. It marshals to
+// JSON losslessly (durations are nanosecond integers), so results can
+// feed dashboards, regression tracking, and cross-run comparison.
+type Result struct {
+	// Name echoes the experiment label.
+	Name string `json:"name,omitempty"`
+	// Config, Workload, Faults, and Measure echo the declared
+	// scenario, so a result file is self-describing and the run it
+	// records can be reconstructed from it.
+	Config   config.Config `json:"config"`
+	Workload workload.Spec `json:"workload"`
+	Faults   FaultSchedule `json:"faults,omitempty"`
+	Measure  MeasurePlan   `json:"measure"`
+	// Points holds one datum per measured load level.
+	Points []Point `json:"points"`
+	// Series is the committed-rate timeline (Tx/s per bucket of
+	// Measure.Bucket) when the plan sets one. Like Chain/Pipeline/
+	// Network below it covers the final level only — pair Bucket
+	// with a single-run plan, not a ladder.
+	Series []float64 `json:"series,omitempty"`
+	// Chain aggregates the chain micro-metrics of the final level.
+	Chain metrics.ChainStats `json:"chain"`
+	// Pipeline sums the pipeline counters of the final level.
+	Pipeline metrics.PipelineStats `json:"pipeline"`
+	// Network totals the switch counters of the final level.
+	Network NetworkStats `json:"network"`
+	// Consistent records the cross-replica consistency verdict over
+	// every level.
+	Consistent bool `json:"consistent"`
+	// Violations sums safety violations across replicas and levels;
+	// correct runs report zero.
+	Violations uint64 `json:"violations"`
+	// Elapsed is the wall-clock cost of the whole experiment.
+	Elapsed time.Duration `json:"elapsed"`
+	// Error records what ended the run early, if anything.
+	Error string `json:"error,omitempty"`
+}
+
+// Validate reports the first problem with the declared experiment.
+// Config validation happens at cluster assembly.
+func (e *Experiment) Validate() error {
+	if err := e.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := e.Faults.Validate(); err != nil {
+		return err
+	}
+	// Events naming replicas outside the cluster would fire as
+	// silent no-ops (crashing node 99 of 4 marks nobody).
+	for i, ev := range e.Faults {
+		for _, id := range ev.Nodes {
+			if id < 1 || int(id) > e.Config.N {
+				return fmt.Errorf("harness: fault event %d names replica %s outside n=%d", i, id, e.Config.N)
+			}
+		}
+		for id := range ev.Groups {
+			if id < 1 || int(id) > e.Config.N {
+				return fmt.Errorf("harness: fault event %d partitions replica %s outside n=%d", i, id, e.Config.N)
+			}
+		}
+	}
+	switch e.Election {
+	case "", ElectionRoundRobin, ElectionHashed:
+	default:
+		return fmt.Errorf("harness: unknown election mode %q", e.Election)
+	}
+	for i, lvl := range e.Measure.Levels {
+		if lvl <= 0 {
+			return fmt.Errorf("harness: level %d must be positive, have %d", i, lvl)
+		}
+	}
+	for i, rate := range e.Measure.Rates {
+		if rate <= 0 {
+			return fmt.Errorf("harness: rate %d must be positive, have %v", i, rate)
+		}
+	}
+	if e.Measure.Rate < 0 || e.Measure.Concurrency < 0 {
+		return fmt.Errorf("harness: negative load level")
+	}
+	return nil
+}
+
+// Run executes the experiment and returns its structured result. On
+// error the returned Result still carries every point measured before
+// the failure, with Error set.
+func Run(exp Experiment) (*Result, error) {
+	start := time.Now()
+	// Consistent stays false until every level has passed its
+	// cross-replica consistency check: an errored or never-run
+	// experiment must not serialize as a verified-consistent one.
+	res := &Result{
+		Name:     exp.Name,
+		Config:   exp.Config,
+		Workload: exp.Workload,
+		Faults:   exp.Faults,
+		Measure:  exp.Measure,
+	}
+	fail := func(err error) (*Result, error) {
+		res.Error = err.Error()
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
+	if err := exp.Validate(); err != nil {
+		return fail(err)
+	}
+
+	type step struct {
+		concurrency int
+		rate        float64
+	}
+	var steps []step
+	switch {
+	case len(exp.Measure.Levels) > 0:
+		for _, lvl := range exp.Measure.Levels {
+			steps = append(steps, step{concurrency: lvl})
+		}
+	case len(exp.Measure.Rates) > 0:
+		for _, rate := range exp.Measure.Rates {
+			steps = append(steps, step{rate: rate})
+		}
+	case exp.Measure.Rate > 0:
+		steps = []step{{rate: exp.Measure.Rate}}
+	default:
+		conc := exp.Measure.Concurrency
+		if conc == 0 {
+			conc = exp.Config.Concurrency
+		}
+		steps = []step{{concurrency: conc}}
+	}
+
+	var best float64
+	for _, st := range steps {
+		p, err := runStep(exp, st.concurrency, st.rate, res)
+		if err != nil {
+			return fail(err)
+		}
+		res.Points = append(res.Points, p)
+		if exp.Measure.SaturationStop {
+			if p.Throughput > best {
+				best = p.Throughput
+			} else if p.Throughput < 0.9*best && len(res.Points) >= 3 {
+				break // clearly past saturation
+			}
+		}
+	}
+	res.Consistent = true
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runStep executes one load level on a fresh cluster, filling the
+// result's whole-run aggregates and returning the window's point.
+func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point, error) {
+	var p Point
+	cfg := exp.Config
+	opts := cluster.Options{
+		WithStores: exp.Measure.WithStores || exp.Workload.Stores(),
+		LedgerDir:  exp.LedgerDir,
+	}
+	if exp.Election == ElectionHashed {
+		opts.Elector = election.NewHashed(cfg.N, cfg.Seed)
+	}
+	gen, err := exp.Workload.New(cfg.PayloadSize, cfg.Seed)
+	if err != nil {
+		return p, err
+	}
+
+	// One epoch anchors both the committed-rate buckets and the fault
+	// offsets, so the timeline and the schedule line up exactly.
+	epoch := time.Now()
+	var series *metrics.TimeSeries
+	if exp.Measure.Bucket > 0 {
+		series = metrics.NewTimeSeries(epoch, exp.Measure.Bucket)
+		opts.CommitSeries = series
+	}
+	c, err := cluster.New(cfg, opts)
+	if err != nil {
+		return p, err
+	}
+	defer c.Stop()
+	c.Start()
+
+	// The fault scheduler compiles the declared timeline onto the
+	// network condition model.
+	stop := make(chan struct{})
+	defer close(stop)
+	if len(exp.Faults) > 0 {
+		go exp.Faults.run(c.Conditions(), epoch, stop, nil)
+	}
+
+	cl, err := c.NewClient()
+	if err != nil {
+		return p, err
+	}
+	cl.SetWorkload(gen)
+	cl.SetFanout(exp.Measure.Fanout)
+	window := exp.Measure.Window
+	if window <= 0 {
+		window = cfg.Runtime
+	}
+	perOp := exp.Measure.PerOpTimeout
+	if perOp <= 0 {
+		perOp = 5 * time.Second
+	}
+	if rate > 0 {
+		p.Offered = rate
+		cl.RunOpenLoop(rate)
+	} else {
+		p.Offered = float64(concurrency)
+		cl.RunClosedLoop(concurrency, perOp)
+	}
+
+	if exp.Measure.Warmup > 0 {
+		time.Sleep(exp.Measure.Warmup)
+	}
+	cl.Latency().Reset()
+	observer := c.Node(c.Observer())
+	startChain := observer.Tracker().Snapshot()
+	startMsgs, startBytes, _ := c.NetworkStats()
+	begin := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(begin)
+	endChain := observer.Tracker().Snapshot()
+	endMsgs, endBytes, _ := c.NetworkStats()
+	lat := cl.Latency().Snapshot()
+	chain := c.AggregateChain()
+
+	p.Throughput = float64(endChain.TxCommitted-startChain.TxCommitted) / elapsed.Seconds()
+	p.Mean, p.P50, p.P99 = lat.Mean, lat.P50, lat.P99
+	p.CGR, p.BI = chain.CGR, chain.BI
+	p.Blocks = endChain.BlocksCommitted - startChain.BlocksCommitted
+	p.NetMsgs, p.NetBytes = endMsgs-startMsgs, endBytes-startBytes
+	p.Pipeline = c.AggregatePipeline()
+
+	res.Chain = chain
+	res.Pipeline = p.Pipeline
+	msgs, bytes, dropped := c.NetworkStats()
+	res.Network = NetworkStats{Msgs: msgs, Bytes: bytes, Dropped: dropped}
+	if series != nil {
+		res.Series = series.Rates()
+	}
+	res.Violations += c.Violations()
+	if err := c.ConsistencyCheck(); err != nil {
+		return p, err
+	}
+	if res.Violations != 0 {
+		return p, fmt.Errorf("harness: %d safety violations", res.Violations)
+	}
+	return p, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this binary was built with the race
+// detector; absolute-throughput assertions are unreliable under its
+// instrumentation and are relaxed.
+const raceEnabled = true

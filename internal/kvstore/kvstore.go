@@ -16,6 +16,20 @@ const (
 	OpNoop byte = iota
 	OpSet
 	OpDel
+	// OpGet is an ordered read: it mutates nothing but travels
+	// through consensus like any command, so read-heavy workloads
+	// exercise the full replication path (linearizable reads).
+	OpGet
+	// OpTransfer moves balance between two accounts inside the state
+	// machine: the value field carries the destination key, an
+	// amount, and an optional initial balance that lazily
+	// materializes an account the first time a transfer touches it
+	// (so no separate seeding phase whose commands could be lost or
+	// reordered). Balances are big-endian uint64 values. Transfers
+	// with insufficient funds apply as no-ops, so with every account
+	// counted at the initial balance until touched, the total is
+	// conserved under any subset and ordering of commits.
+	OpTransfer
 )
 
 // Store is a replica's state machine. Safe for concurrent use: the
@@ -24,6 +38,7 @@ type Store struct {
 	mu      sync.RWMutex
 	data    map[string][]byte
 	applied uint64
+	reads   uint64
 }
 
 // New creates an empty store.
@@ -48,6 +63,19 @@ func (s *Store) Apply(txs []types.Transaction) {
 			s.data[key] = val
 		case OpDel:
 			delete(s.data, key)
+		case OpGet:
+			s.reads++
+		case OpTransfer:
+			to, amount, init, ok := DecodeTransferValue(val)
+			if !ok {
+				continue
+			}
+			from := s.balanceOr(key, init)
+			if from < amount {
+				continue // insufficient funds: conserved no-op
+			}
+			s.data[key] = encodeBalance(from - amount)
+			s.data[to] = encodeBalance(s.balanceOr(to, init) + amount)
 		}
 	}
 }
@@ -74,6 +102,39 @@ func (s *Store) Applied() uint64 {
 	return s.applied
 }
 
+// Reads returns the number of ordered reads (OpGet) applied.
+func (s *Store) Reads() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reads
+}
+
+// Balance returns a key's value interpreted as a big-endian uint64
+// account balance (0 when absent or malformed).
+func (s *Store) Balance(key string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return balanceOf(s.data[key])
+}
+
+// BalanceOr returns the account balance, counting an account no
+// transfer has materialized yet at its implicit initial balance —
+// the read-side mirror of OpTransfer's lazy initialization.
+func (s *Store) BalanceOr(key string, init uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.balanceOr(key, init)
+}
+
+// balanceOr is BalanceOr without locking (callers hold mu).
+func (s *Store) balanceOr(key string, init uint64) uint64 {
+	v, ok := s.data[key]
+	if !ok {
+		return init
+	}
+	return balanceOf(v)
+}
+
 // EncodeSet builds a SET command. The payload pad extends the command
 // to the configured transaction payload size (Table I "psize").
 func EncodeSet(key string, value []byte, pad int) []byte {
@@ -89,6 +150,57 @@ func EncodeDel(key string, pad int) []byte {
 // the zero-payload benchmark transaction.
 func EncodeNoop(pad int) []byte {
 	return encode(OpNoop, "", nil, pad)
+}
+
+// EncodeGet builds an ordered-read command for key.
+func EncodeGet(key string, pad int) []byte {
+	return encode(OpGet, key, nil, pad)
+}
+
+// EncodeTransfer builds a balance transfer of amount from one account
+// key to another, executed atomically by Apply. init is the implicit
+// initial balance of accounts no transfer has touched yet (0 means
+// accounts must exist to hold funds).
+func EncodeTransfer(from, to string, amount, init uint64, pad int) []byte {
+	val := make([]byte, 2+len(to)+16)
+	binary.BigEndian.PutUint16(val[:2], uint16(len(to)))
+	copy(val[2:], to)
+	binary.BigEndian.PutUint64(val[2+len(to):], amount)
+	binary.BigEndian.PutUint64(val[2+len(to)+8:], init)
+	return encode(OpTransfer, from, val, pad)
+}
+
+// DecodeTransferValue parses the value field of an OpTransfer command
+// into the destination key, amount, and implicit initial balance.
+func DecodeTransferValue(val []byte) (to string, amount, init uint64, ok bool) {
+	if len(val) < 2 {
+		return "", 0, 0, false
+	}
+	tlen := int(binary.BigEndian.Uint16(val[:2]))
+	if 2+tlen+16 > len(val) {
+		return "", 0, 0, false
+	}
+	to = string(val[2 : 2+tlen])
+	amount = binary.BigEndian.Uint64(val[2+tlen : 2+tlen+8])
+	init = binary.BigEndian.Uint64(val[2+tlen+8 : 2+tlen+16])
+	return to, amount, init, true
+}
+
+// EncodeBalance renders an account balance as a store value.
+func EncodeBalance(v uint64) []byte { return encodeBalance(v) }
+
+func encodeBalance(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// balanceOf reads a stored balance; malformed or missing values are 0.
+func balanceOf(v []byte) uint64 {
+	if len(v) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
 }
 
 func encode(op byte, key string, value []byte, pad int) []byte {
@@ -113,7 +225,7 @@ func Decode(cmd []byte) (key string, value []byte, op byte, ok bool) {
 		return "", nil, 0, false
 	}
 	op = cmd[0]
-	if op > OpDel {
+	if op > OpTransfer {
 		return "", nil, 0, false
 	}
 	klen := int(binary.BigEndian.Uint16(cmd[1:3]))

@@ -1,0 +1,102 @@
+package kvstore
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func apply(s *Store, cmds ...[]byte) {
+	txs := make([]types.Transaction, len(cmds))
+	for i, cmd := range cmds {
+		txs[i] = types.Transaction{ID: types.TxID{Client: 9, Seq: uint64(i + 1)}, Command: cmd}
+	}
+	s.Apply(txs)
+}
+
+func TestTransferMovesBalance(t *testing.T) {
+	s := New()
+	apply(s,
+		EncodeSet("a", EncodeBalance(100), 0),
+		EncodeSet("b", EncodeBalance(10), 0),
+		EncodeTransfer("a", "b", 30, 0, 0),
+	)
+	if got := s.Balance("a"); got != 70 {
+		t.Fatalf("a = %d, want 70", got)
+	}
+	if got := s.Balance("b"); got != 40 {
+		t.Fatalf("b = %d, want 40", got)
+	}
+}
+
+func TestTransferInsufficientFundsIsNoop(t *testing.T) {
+	s := New()
+	apply(s,
+		EncodeSet("a", EncodeBalance(5), 0),
+		EncodeTransfer("a", "b", 30, 0, 0),
+	)
+	if got := s.Balance("a"); got != 5 {
+		t.Fatalf("a = %d, want 5", got)
+	}
+	if got := s.Balance("b"); got != 0 {
+		t.Fatalf("b = %d, want 0", got)
+	}
+}
+
+func TestTransferInitMaterializesAccounts(t *testing.T) {
+	s := New()
+	// Neither account exists; both materialize at the implicit
+	// initial balance carried by the command.
+	apply(s, EncodeTransfer("a", "b", 30, 100, 0))
+	if got := s.Balance("a"); got != 70 {
+		t.Fatalf("a = %d, want 70", got)
+	}
+	if got := s.Balance("b"); got != 130 {
+		t.Fatalf("b = %d, want 130", got)
+	}
+	// An untouched account reads as the initial balance.
+	if got := s.BalanceOr("c", 100); got != 100 {
+		t.Fatalf("c = %d, want 100", got)
+	}
+}
+
+func TestTransferToMissingAccountCreatesIt(t *testing.T) {
+	s := New()
+	apply(s,
+		EncodeSet("a", EncodeBalance(50), 0),
+		EncodeTransfer("a", "fresh", 20, 0, 0),
+	)
+	if got := s.Balance("fresh"); got != 20 {
+		t.Fatalf("fresh = %d, want 20", got)
+	}
+}
+
+func TestTransferRoundTripsDecode(t *testing.T) {
+	cmd := EncodeTransfer("alice", "bob", 77, 1000, 256)
+	if len(cmd) != 256 {
+		t.Fatalf("padded command length %d, want 256", len(cmd))
+	}
+	key, val, op, ok := Decode(cmd)
+	if !ok || op != OpTransfer || key != "alice" {
+		t.Fatalf("decode: key=%q op=%d ok=%v", key, op, ok)
+	}
+	to, amount, init, ok := DecodeTransferValue(val)
+	if !ok || to != "bob" || amount != 77 || init != 1000 {
+		t.Fatalf("transfer value: to=%q amount=%d init=%d ok=%v", to, amount, init, ok)
+	}
+}
+
+func TestGetCountsReads(t *testing.T) {
+	s := New()
+	apply(s,
+		EncodeSet("k", []byte("v"), 0),
+		EncodeGet("k", 0),
+		EncodeGet("other", 128),
+	)
+	if got := s.Reads(); got != 2 {
+		t.Fatalf("reads = %d, want 2", got)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("k = %q ok=%v after reads", v, ok)
+	}
+}
