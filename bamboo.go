@@ -36,6 +36,13 @@
 //		Measure: bamboo.MeasurePlan{Warmup: time.Second, Window: 2 * time.Second},
 //	})
 //
+// Fault schedules may isolate replicas for longer than the in-memory
+// forest keep window: every replica persists its committed chain to a
+// ledger by default, and a rejoining replica streams the gap from a
+// peer's ledger as verified certificate-chained batches (state sync),
+// then re-commits. Result.Recovered and Result.Heights record the
+// outcome; Node status and the pipeline counters expose progress.
+//
 // The types below alias the implementation packages so downstream
 // code can name every value the API returns.
 package bamboo
@@ -82,8 +89,11 @@ type (
 	PipelineStats = metrics.PipelineStats
 	// Store is the in-memory key-value execution layer.
 	Store = kvstore.Store
-	// Ledger is the append-only persistent store of committed
-	// blocks (enable per replica with ClusterOptions.LedgerDir).
+	// Ledger is the append-only persistent store of committed blocks.
+	// Clusters give every replica one by default (it is what deep
+	// state sync serves catch-up ranges from); set a stable location
+	// with ClusterOptions.LedgerDir or opt out with
+	// ClusterOptions.DisableLedger.
 	Ledger = ledger.Ledger
 )
 

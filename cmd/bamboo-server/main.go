@@ -26,6 +26,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/crypto"
 	"github.com/bamboo-bft/bamboo/internal/httpapi"
 	"github.com/bamboo-bft/bamboo/internal/kvstore"
+	"github.com/bamboo-bft/bamboo/internal/ledger"
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/protocol"
 	"github.com/bamboo-bft/bamboo/internal/types"
@@ -43,6 +44,8 @@ func run() error {
 		configPath = flag.String("config", "bamboo.json", "path to the JSON run configuration")
 		id         = flag.Uint("id", 0, "this replica's node ID (key into the address map)")
 		httpAddr   = flag.String("http", "", "address for the RESTful client API (empty disables)")
+		ledgerPath = flag.String("ledger", "",
+			"ledger file for the committed chain (default bamboo-replica-<id>.ledger; \"none\" disables persistence and with it deep catch-up serving). A restarted replica rejoining the SAME chain may reuse its file — it will re-persist from where the file ends once catch-up passes that height; a fresh deployment needs a fresh path (blocks from another chain are never served, but they occupy the file)")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -77,9 +80,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Persist the committed chain by default: the ledger is both the
+	// crash-recovery record and what this replica serves deep
+	// catch-up ranges from when a peer falls past the keep window.
+	var led *ledger.Ledger
+	if *ledgerPath != "none" {
+		path := *ledgerPath
+		if path == "" {
+			path = fmt.Sprintf("bamboo-replica-%d.ledger", *id)
+		}
+		led, err = ledger.OpenBuffered(path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = led.Close() }()
+	}
 	store := kvstore.New()
 	node := core.NewNode(self, cfg, factory, transport, scheme, core.Options{
 		Execute: store.Apply,
+		Ledger:  led,
 		OnViolation: func(err error) {
 			log.Printf("SAFETY VIOLATION: %v", err)
 		},

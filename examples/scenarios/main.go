@@ -1,11 +1,16 @@
-// Scenarios: a dissection experiment as ~20 lines of data. Four
+// Scenarios: a dissection experiment as ~20 lines of data. Five
 // replicas run HotStuff under a zipfian key-value workload while a
-// declared timeline splits the cluster into two quorum-less halves
-// (total stall), heals the partition (instant recovery), and then has
-// a Byzantine node go silent — the kind of scripted adversity that
-// used to take a bespoke main() with hand-rolled sleeps. The
-// structured result (points, committed-rate timeline, consistency
-// verdict) prints as JSON at the end.
+// declared timeline cuts one replica off from the rest. The remaining
+// four keep a quorum and commit right past the forest keep window
+// (shrunk to the minimum of 8 here so the gap goes "deep" within a
+// couple of seconds) — the exact scenario that used to be this
+// reproduction's known limitation: the rejoining replica's ancestors
+// were compacted out of every peer's in-memory forest, so it kept
+// voting but never committed again. With ledger-backed state sync the
+// replica streams the missing range from a peer's persistent ledger,
+// verifies every block's certificate, fast-forwards, and rejoins —
+// which the result records as Recovered, with the sync counters to
+// prove how.
 //
 //	go run ./examples/scenarios
 package main
@@ -22,30 +27,30 @@ import (
 
 func main() {
 	cfg := bamboo.DefaultConfig()
+	cfg.N = 5 // an n that keeps quorum with one replica dark
 	cfg.Protocol = bamboo.ProtocolHotStuff
 	cfg.ApplyProtocolDefaults()
 	cfg.CryptoScheme = "hmac"
 	cfg.MemSize = 1 << 15
-	cfg.ByzNo = 1
-	cfg.Strategy = bamboo.StrategySilence
-	cfg.StrategyDelay = 4 * time.Second // attacker turns silent here
+	cfg.ForestKeep = 8 // minimum window: deep gaps form fast
 
 	exp := bamboo.Experiment{
-		Name:     "partition-heal-silence",
+		Name:     "deep-partition-recovery",
 		Config:   cfg,
 		Workload: bamboo.WorkloadSpec{Kind: bamboo.WorkloadKV, Keys: 512, WriteRatio: 0.5},
 		Faults: bamboo.FaultSchedule{
-			// A 2/2 split leaves no quorum on either side: the whole
-			// cluster stalls until the declared heal.
-			bamboo.PartitionAt(1500*time.Millisecond, map[bamboo.NodeID]int{3: 1, 4: 1}),
-			bamboo.HealAt(3 * time.Second),
+			// Isolate replica 2 only: the other four keep committing,
+			// so the committed chain outruns the keep window while 2
+			// is dark — a deep gap, not the quorum-less full stall.
+			bamboo.PartitionAt(500*time.Millisecond, map[bamboo.NodeID]int{2: 1}),
+			bamboo.HealAt(2500 * time.Millisecond),
 		},
 		Measure: bamboo.MeasurePlan{
-			Warmup:      500 * time.Millisecond,
-			Window:      5 * time.Second,
+			Warmup:      300 * time.Millisecond,
+			Window:      4 * time.Second,
 			Concurrency: 16,
 			// Short per-op timeout: workers whose transaction lands on
-			// the partitioned replica give up and resubmit quickly, so
+			// the isolated replica give up and resubmit quickly, so
 			// offered load survives the partition window.
 			PerOpTimeout: 500 * time.Millisecond,
 			Bucket:       500 * time.Millisecond,
@@ -57,8 +62,11 @@ func main() {
 		log.SetFlags(0)
 		log.Fatalf("scenarios: %v", err)
 	}
-	fmt.Printf("scenario %q: %.0f Tx/s, consistent=%v, %d buckets of committed-rate timeline\n",
-		res.Name, res.Points[0].Throughput, res.Consistent, len(res.Series))
+	fmt.Printf("scenario %q: %.0f Tx/s, consistent=%v, recovered=%v\n",
+		res.Name, res.Points[0].Throughput, res.Consistent, res.Recovered)
+	fmt.Printf("final heights per replica: %v\n", res.Heights)
+	fmt.Printf("deep catch-up: %d ranged requests, %d batches served, %d blocks applied via sync\n",
+		res.Pipeline.SyncRequestsSent, res.Pipeline.SyncBatchesServed, res.Pipeline.SyncBlocksApplied)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(res); err != nil {

@@ -8,6 +8,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -42,8 +43,16 @@ type Options struct {
 	// the configuration's default (round-robin, or static master).
 	Elector election.Elector
 	// LedgerDir, when set, gives every replica a persistent ledger
-	// file (<dir>/replica-<id>.ledger) of its committed chain.
+	// file (<dir>/replica-<id>.ledger) of its committed chain. When
+	// empty, a temporary directory is created and removed on Stop:
+	// the ledger doubles as the serving store for deep state sync
+	// (catch-up past the forest keep window), so replicas get one by
+	// default.
 	LedgerDir string
+	// DisableLedger turns persistence off entirely; replicas then
+	// serve catch-up only from the in-memory forest keep window, and
+	// a replica isolated past it cannot recover.
+	DisableLedger bool
 }
 
 // Cluster is a running in-process deployment.
@@ -56,6 +65,10 @@ type Cluster struct {
 	ledgers []*ledger.Ledger
 	clients []*client.Client
 	nextCli uint64
+	// tmpLedgerDir is the auto-created ledger directory, removed on
+	// Stop; empty when the caller supplied LedgerDir (or disabled
+	// persistence).
+	tmpLedgerDir string
 
 	stopOnce sync.Once
 }
@@ -88,12 +101,34 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 		nodes:  make(map[types.NodeID]*core.Node, cfg.N),
 		stores: make(map[types.NodeID]*kvstore.Store),
 	}
+	ledgerDir := opts.LedgerDir
+	if ledgerDir == "" && !opts.DisableLedger {
+		// Ledger-backed state sync is on by default: without a
+		// persistent chain, a replica isolated past the forest keep
+		// window can never recover (the exact liveness hole deep
+		// catch-up closes).
+		dir, err := os.MkdirTemp("", "bamboo-ledger-")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: ledger dir: %w", err)
+		}
+		c.tmpLedgerDir = dir
+		ledgerDir = dir
+	}
+	fail := func(err error) (*Cluster, error) {
+		for _, led := range c.ledgers {
+			_ = led.Close()
+		}
+		if c.tmpLedgerDir != "" {
+			_ = os.RemoveAll(c.tmpLedgerDir)
+		}
+		return nil, err
+	}
 	observer := c.Observer()
 	for i := 1; i <= cfg.N; i++ {
 		id := types.NodeID(i)
 		ep, err := sw.Join(id)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		nodeOpts := core.Options{OnViolation: opts.OnViolation, Elector: opts.Elector}
 		if opts.WithStores {
@@ -104,11 +139,11 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 		if opts.CommitSeries != nil && id == observer {
 			nodeOpts.CommitSeries = opts.CommitSeries
 		}
-		if opts.LedgerDir != "" {
+		if ledgerDir != "" {
 			led, err := ledger.OpenBuffered(
-				filepath.Join(opts.LedgerDir, fmt.Sprintf("replica-%d.ledger", i)))
+				filepath.Join(ledgerDir, fmt.Sprintf("replica-%d.ledger", i)))
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			nodeOpts.Ledger = led
 			c.ledgers = append(c.ledgers, led)
@@ -148,6 +183,10 @@ func (c *Cluster) Stop() {
 			_ = led.Close()
 		}
 		c.ledgers = nil
+		if c.tmpLedgerDir != "" {
+			_ = os.RemoveAll(c.tmpLedgerDir)
+			c.tmpLedgerDir = ""
+		}
 	})
 }
 
@@ -284,6 +323,10 @@ func (c *Cluster) AggregatePipeline() metrics.PipelineStats {
 		agg.DigestResolved += s.DigestResolved
 		agg.DigestFetched += s.DigestFetched
 		agg.BlocksApplied += s.BlocksApplied
+		agg.SyncRequestsSent += s.SyncRequestsSent
+		agg.SyncBatchesServed += s.SyncBatchesServed
+		agg.SyncBlocksApplied += s.SyncBlocksApplied
+		agg.SyncRejected += s.SyncRejected
 	}
 	return agg
 }

@@ -32,6 +32,8 @@ func registerTypes() {
 		gob.Register(types.TimeoutMsg{})
 		gob.Register(types.TCMsg{})
 		gob.Register(types.FetchMsg{})
+		gob.Register(types.SyncRequestMsg{})
+		gob.Register(types.SyncResponseMsg{})
 		gob.Register(types.RequestMsg{})
 		gob.Register(types.PayloadBatchMsg{})
 		gob.Register(types.ReplyMsg{})

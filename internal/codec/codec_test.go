@@ -65,6 +65,7 @@ func TestAllMessageKindsRoundTrip(t *testing.T) {
 		types.TimeoutMsg{Timeout: &types.Timeout{View: 2, Voter: 1, HighQC: qc, Sig: []byte{2}}},
 		types.TCMsg{TC: &types.TC{View: 2, Signers: []types.NodeID{1, 2, 3}, Sigs: [][]byte{{1}, {2}, {3}}, HighQC: qc}},
 		types.RequestMsg{Tx: types.Transaction{ID: types.TxID{Client: 1, Seq: 2}, Command: []byte("x")}},
+		types.SyncRequestMsg{From: 17, To: 80},
 		types.ReplyMsg{TxID: types.TxID{Client: 1, Seq: 2}, View: 7, BlockID: types.Hash{1}},
 		types.QueryMsg{Height: 11},
 		types.QueryReplyMsg{CommittedHeight: 11, CommittedView: 12, BlockHash: types.Hash{2}},
@@ -75,6 +76,36 @@ func TestAllMessageKindsRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got, m) {
 			t.Errorf("%T mangled: got %+v want %+v", m, got, m)
 		}
+	}
+}
+
+// TestSyncResponseRoundTrip: catch-up batches carry whole certified
+// blocks; identity, certificate, and payload must survive the wire,
+// because the receiver re-verifies all three.
+func TestSyncResponseRoundTrip(t *testing.T) {
+	qc := &types.QC{View: 6, BlockID: types.Hash{7}, Signers: []types.NodeID{1, 2, 3}, Sigs: [][]byte{{1}, {2}, {3}}}
+	block := &types.Block{
+		View:     7,
+		Proposer: 3,
+		Parent:   types.Hash{7},
+		QC:       qc,
+		Payload:  []types.Transaction{{ID: types.TxID{Client: 2, Seq: 9}, Command: []byte("set k v")}},
+		Sig:      []byte{0xbb},
+	}
+	wantID := block.ID()
+	msg := types.SyncResponseMsg{From: 41, Blocks: []*types.Block{block}, Head: 99}
+	got, ok := roundTrip(t, msg).(types.SyncResponseMsg)
+	if !ok {
+		t.Fatal("wrong type decoded")
+	}
+	if got.From != 41 || got.Head != 99 || len(got.Blocks) != 1 {
+		t.Fatalf("framing mangled: %+v", got)
+	}
+	if got.Blocks[0].ID() != wantID {
+		t.Fatal("block identity changed across the wire")
+	}
+	if !reflect.DeepEqual(got.Blocks[0].QC, qc) {
+		t.Fatalf("certificate mangled: %+v", got.Blocks[0].QC)
 	}
 }
 

@@ -145,6 +145,15 @@ type Config struct {
 	// full, commits apply backpressure to the event loop. 0 picks
 	// the default of 128.
 	ApplyQueue int `json:"applyQueue"`
+
+	// ForestKeep is how many committed heights of full blocks the
+	// forest retains below the tip for parent lookups and shallow
+	// catch-up serving; deeper history is served from the ledger by
+	// state sync. 0 picks the default of 16; values below 8 are
+	// rejected (the engine needs a few heights of slack for orphan
+	// attachment and fork bookkeeping). Tests shrink it to exercise
+	// the deep-sync path quickly.
+	ForestKeep int `json:"forestKeep"`
 }
 
 // Default returns the paper's Table I defaults: rotating leaders,
@@ -169,7 +178,17 @@ func Default() Config {
 		Seed:            1,
 		Responsive:      true,
 		MaxNetworkDelay: 20 * time.Millisecond,
+		ForestKeep:      16,
 	}
+}
+
+// KeepWindow returns the effective forest keep window: ForestKeep, or
+// the default of 16 when unset.
+func (c *Config) KeepWindow() int {
+	if c.ForestKeep <= 0 {
+		return 16
+	}
+	return c.ForestKeep
 }
 
 // Quorum returns the vote threshold n−f with f = ⌊(n−1)/3⌋. For
@@ -236,6 +255,9 @@ func (c *Config) Validate() error {
 	}
 	if c.ApplyQueue < 0 {
 		return errors.New("config: apply queue must be non-negative")
+	}
+	if c.ForestKeep != 0 && c.ForestKeep < 8 {
+		return fmt.Errorf("config: forest keep window %d below minimum 8", c.ForestKeep)
 	}
 	return nil
 }

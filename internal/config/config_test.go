@@ -92,6 +92,8 @@ func TestValidateRejections(t *testing.T) {
 		{"negative mempool", func(c *Config) { c.MemSize = -1 }},
 		{"negative concurrency", func(c *Config) { c.Concurrency = -1 }},
 		{"master out of range", func(c *Config) { c.Master = 9 }},
+		{"forest keep below minimum", func(c *Config) { c.ForestKeep = 7 }},
+		{"negative forest keep", func(c *Config) { c.ForestKeep = -1 }},
 		{"address count mismatch", func(c *Config) {
 			c.Addrs = map[types.NodeID]string{1: "x"}
 		}},
@@ -104,6 +106,30 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatal("expected validation error")
 			}
 		})
+	}
+}
+
+// TestForestKeepWindow: the keep window is configurable down to 8 (so
+// tests can hit the deep-sync path fast), defaults to 16 when unset,
+// and rejects anything in between.
+func TestForestKeepWindow(t *testing.T) {
+	c := Default()
+	if c.ForestKeep != 16 || c.KeepWindow() != 16 {
+		t.Fatalf("default keep window = %d/%d, want 16", c.ForestKeep, c.KeepWindow())
+	}
+	c.ForestKeep = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("unset keep window rejected: %v", err)
+	}
+	if c.KeepWindow() != 16 {
+		t.Fatalf("unset keep window resolves to %d, want 16", c.KeepWindow())
+	}
+	c.ForestKeep = 8
+	if err := c.Validate(); err != nil {
+		t.Fatalf("minimum keep window rejected: %v", err)
+	}
+	if c.KeepWindow() != 8 {
+		t.Fatalf("keep window %d, want 8", c.KeepWindow())
 	}
 }
 

@@ -18,6 +18,10 @@ const pendingQCLimit = 1024
 const echoSeenLimit = 1 << 13
 
 // propose builds, signs, and disseminates this view's proposal.
+// Proposing continues even mid-catch-up: a stale-view proposal is
+// rejected by every honest voter for free, while suppressing the
+// replica's leader slots would burn a view timeout per rotation and
+// measurably slow the whole cluster during a long sync episode.
 func (n *Node) propose(view types.View, tc *types.TC) {
 	if view != n.pm.CurView() || n.proposedInView >= view {
 		return
@@ -203,10 +207,14 @@ func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg, verified bool)
 	}
 	if len(attached) == 0 {
 		// Orphan: buffered inside the forest; ask the sender for
-		// the missing ancestor and remember the certificate.
+		// the missing ancestor and remember the certificate. When
+		// the orphan's certificate shows a gap deeper than the keep
+		// window, the fetch walk is a dead-end (the ancestors are
+		// compacted everywhere) — switch to ledger-backed state sync.
 		n.bufferQC(b.QC)
 		if from != n.id {
 			n.net.Send(from, types.FetchMsg{BlockID: b.Parent})
+			n.maybeStartSync(from, b)
 		}
 		return
 	}

@@ -60,6 +60,12 @@ type Status struct {
 	CommittedView   types.View
 	CommittedHash   types.Hash
 	Pool            int
+	// Syncing reports whether the replica is in deep catch-up,
+	// streaming ranged batches from a peer's ledger.
+	Syncing bool
+	// SyncApplied counts blocks fast-forwarded through state sync
+	// over the replica's lifetime.
+	SyncApplied uint64
 }
 
 // Node is one replica.
@@ -96,6 +102,15 @@ type Node struct {
 	// owned maps transactions this replica accepted to the client
 	// endpoint awaiting the commit reply.
 	owned map[types.TxID]types.NodeID
+	// syncing is true while the replica is in deep catch-up: its gap
+	// outran the forest keep window and it is streaming ranged
+	// batches from syncTarget's ledger (see sync.go). syncEpoch
+	// invalidates stall timers from finished episodes;
+	// syncLastHeight is the committed height at the last stall check.
+	syncing        bool
+	syncTarget     types.NodeID
+	syncEpoch      uint64
+	syncLastHeight uint64
 	// proposedInView guards against double-proposing in one view.
 	proposedInView types.View
 	// lastTimeoutView is the highest view this replica has signed a
@@ -152,7 +167,7 @@ type flushPayloadEvent struct{}
 func NewNode(id types.NodeID, cfg config.Config, factory safety.Factory,
 	net network.Transport, scheme crypto.Scheme, opts Options) *Node {
 
-	f := forest.New(16)
+	f := forest.New(cfg.KeepWindow())
 	env := safety.Env{Forest: f, Self: id, N: cfg.N}
 	rules := factory(env)
 	if cfg.IsByzantine(id) {
@@ -358,6 +373,14 @@ func (n *Node) route(from types.NodeID, msg any, verified bool) {
 		n.onRequest(from, m.Tx)
 	case types.FetchMsg:
 		n.onFetch(from, m)
+	case types.SyncRequestMsg:
+		n.onSyncRequest(from, m)
+	case types.SyncResponseMsg:
+		// Self-authenticating: the handler verifies the embedded
+		// certificates, so the pool's verified flag is irrelevant.
+		n.onSyncResponse(from, m)
+	case syncRetryEvent:
+		n.onSyncRetry(m)
 	case types.QueryMsg:
 		n.onQuery(from, m)
 	case types.SlowMsg:
@@ -384,6 +407,8 @@ func (n *Node) publishStatus() {
 	n.status.CommittedHeight = n.forest.CommittedHeight()
 	n.status.CommittedView = head.View
 	n.status.CommittedHash = head.ID()
+	n.status.Syncing = n.syncing
+	n.status.SyncApplied = n.pipeline.SyncApplied()
 	n.statusMu.Unlock()
 }
 

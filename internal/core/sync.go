@@ -1,0 +1,327 @@
+package core
+
+// sync.go is the deep catch-up path: ledger-backed state sync for a
+// replica whose committed chain has fallen more than the forest keep
+// window behind its peers. The per-block FetchMsg walk covers shallow
+// gaps — a peer can serve any ancestor still inside its keep window —
+// but under sustained load the committed chain outruns that window and
+// the walk dead-ends on compacted history. Here the lagging replica
+// instead requests contiguous height ranges; peers serve them from
+// their persistent ledger (falling back to the forest for recent
+// heights), and the requester verifies each batch as a certified chain
+// anchored at its own committed head before fast-forwarding forest,
+// state machine, and ledger through the normal commit machinery.
+
+import (
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// syncBatchSize bounds the blocks in one SyncResponseMsg: large enough
+// to amortize a round trip over many heights, small enough to keep one
+// response's verification from monopolizing the event loop.
+const syncBatchSize = 64
+
+// syncHoldback is how many blocks at the end of a verified batch are
+// NOT applied. Every applied block therefore has syncHoldback certified
+// descendants inside the verified range — the evidence that keeps a
+// Byzantine peer from feeding us a certified-but-abandoned suffix near
+// the tip of its claimed chain. Three matches the deepest commit rule
+// among the built-in protocols (chained HotStuff's three-chain): a
+// conflicting certified two-chain can legitimately exist there (it is
+// exactly what the third link rules out), so two descendants would be
+// lock-grade, not commit-grade. The held-back heights are re-requested
+// next round or recovered through the live fetch path.
+const syncHoldback = 3
+
+// syncRetryEvent re-checks a catch-up round that may have stalled
+// (crashed, partitioned, or Byzantine-silent serving peer). epoch
+// invalidates timers from an earlier catch-up episode.
+type syncRetryEvent struct {
+	epoch uint64
+}
+
+// syncRetryInterval is how long a round may stall before the request
+// is re-sent to a rotated peer.
+func (n *Node) syncRetryInterval() time.Duration {
+	d := 2 * n.cfg.Timeout
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// maybeStartSync enters catch-up mode when an unattachable proposal's
+// certificate shows the chain has moved more than a keep window past
+// this replica's committed view — the point where the FetchMsg walk is
+// doomed, because the ancestors it would fetch are already compacted
+// out of every peer's forest. Views advance at least as fast as
+// heights, so a view gap below the window can never hide a height gap
+// beyond it; a view gap inflated by timeout churn merely triggers a
+// sync round that terminates immediately.
+func (n *Node) maybeStartSync(from types.NodeID, b *types.Block) {
+	if n.syncing || from == n.id || b.QC == nil {
+		return
+	}
+	headView := n.forest.CommittedHead().View
+	if b.QC.View <= headView+types.View(n.forest.KeepWindow()) {
+		return
+	}
+	n.syncing = true
+	n.syncTarget = from
+	n.syncEpoch++
+	n.syncLastHeight = n.forest.CommittedHeight()
+	n.sendSyncRequest()
+	n.armSyncRetry()
+	n.publishStatus()
+}
+
+// sendSyncRequest asks the current target for everything above our
+// committed head.
+func (n *Node) sendSyncRequest() {
+	n.pipeline.OnSyncRequested()
+	n.net.Send(n.syncTarget, types.SyncRequestMsg{From: n.forest.CommittedHeight() + 1})
+}
+
+// armSyncRetry schedules the stall check for the current episode.
+func (n *Node) armSyncRetry() {
+	epoch := n.syncEpoch
+	time.AfterFunc(n.syncRetryInterval(), func() {
+		select {
+		case n.events <- syncRetryEvent{epoch: epoch}:
+		case <-n.stopCh:
+		}
+	})
+}
+
+// onSyncRetry fires on the stall timer. It first re-checks the
+// episode's premise: once the committed head's view is back within a
+// keep window of the live view, the shallow fetch path covers the
+// remainder and catch-up ends — this also retires false-positive
+// episodes started by timeout-churned view gaps, and episodes whose
+// final "you are caught up" response was lost. Otherwise, a round that
+// gained no height means the serving peer is gone (or hostile) and
+// the request is re-sent to the next replica in ID order.
+func (n *Node) onSyncRetry(ev syncRetryEvent) {
+	if !n.syncing || ev.epoch != n.syncEpoch {
+		return
+	}
+	headView := n.forest.CommittedHead().View
+	if n.pm.CurView() <= headView+types.View(n.forest.KeepWindow()) {
+		n.endSync()
+		return
+	}
+	h := n.forest.CommittedHeight()
+	if h == n.syncLastHeight {
+		n.rotateSyncTarget()
+		n.sendSyncRequest()
+	}
+	n.syncLastHeight = h
+	n.armSyncRetry()
+}
+
+// rotateSyncTarget moves to the next replica, skipping this one.
+func (n *Node) rotateSyncTarget() {
+	next := n.syncTarget%types.NodeID(n.cfg.N) + 1
+	if next == n.id {
+		next = next%types.NodeID(n.cfg.N) + 1
+	}
+	n.syncTarget = next
+}
+
+// endSync leaves catch-up mode; the live proposal/fetch path covers
+// whatever remains (the residual gap is within the keep window).
+func (n *Node) endSync() {
+	n.syncing = false
+	n.publishStatus()
+}
+
+// onSyncRequest serves a ranged catch-up request from the persistent
+// ledger, falling back to the forest for heights the ledger has not
+// flushed yet (the commit-apply stage appends asynchronously). The
+// response is best-effort and contiguous: if neither source holds some
+// height, the range is cut short and the requester simply asks again
+// from wherever it lands.
+func (n *Node) onSyncRequest(from types.NodeID, m types.SyncRequestMsg) {
+	if from == n.id {
+		return
+	}
+	committed := n.forest.CommittedHeight()
+	if m.From == 0 || m.From > committed {
+		// Nothing to serve — answer with our head so a requester that
+		// has caught up can conclude its episode.
+		n.net.Send(from, types.SyncResponseMsg{From: m.From, Head: committed})
+		return
+	}
+	to := m.To
+	if to == 0 || to > committed {
+		to = committed
+	}
+	if to < m.From {
+		return // inverted range: nothing to serve
+	}
+	if max := m.From + syncBatchSize - 1; to > max {
+		to = max
+	}
+	blocks := make([]*types.Block, 0, to-m.From+1)
+	h := m.From
+	if led := n.opts.Ledger; led != nil {
+		if lh := led.Height(); lh >= h {
+			end := to
+			if end > lh {
+				end = lh
+			}
+			if bs, err := led.ReadRange(h, end); err == nil {
+				for _, b := range bs {
+					// Serve a ledger block only if it IS this run's
+					// committed block at that height: a ledger file
+					// carried over from an earlier deployment holds a
+					// different chain, and handing it out would make
+					// every requester burn a full batch verification
+					// before rejecting us.
+					if want, ok := n.forest.CommittedHash(h); !ok || want != b.ID() {
+						break
+					}
+					blocks = append(blocks, b)
+					h++
+				}
+			}
+		}
+	}
+	for ; h <= to; h++ {
+		hash, ok := n.forest.CommittedHash(h)
+		if !ok {
+			break
+		}
+		b, ok := n.forest.Block(hash)
+		if !ok {
+			break // compacted below the window and not yet in the ledger
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) == 0 {
+		return
+	}
+	n.pipeline.OnSyncServed()
+	n.net.Send(from, types.SyncResponseMsg{From: m.From, Blocks: blocks, Head: committed})
+}
+
+// onSyncResponse verifies and applies one catch-up batch. The whole
+// range is checked before any state changes: every block must extend
+// the previous one by parent hash AND carry a valid quorum certificate
+// for it, anchored at this replica's committed head. Unsolicited
+// responses, responses from the wrong peer, mis-ranged responses, and
+// tampered blocks are all rejected without touching forest or store.
+func (n *Node) onSyncResponse(from types.NodeID, m types.SyncResponseMsg) {
+	if !n.syncing || from != n.syncTarget {
+		n.pipeline.OnSyncRejected()
+		return
+	}
+	before := n.forest.CommittedHeight()
+	expected := before + 1
+	if m.From > expected {
+		// A range starting above our next height cannot anchor at the
+		// committed head — there is nothing to verify it against.
+		n.pipeline.OnSyncRejected()
+		return
+	}
+	if len(m.Blocks) == 0 {
+		if m.Head <= before {
+			n.endSync()
+		}
+		return
+	}
+	if len(m.Blocks) > syncBatchSize {
+		n.pipeline.OnSyncRejected()
+		return
+	}
+	// The committed head may have moved between request and response
+	// (the post-heal backlog drains concurrently with the first sync
+	// round); skip the part of the range we already hold and verify
+	// the remainder anchored at the head we have now.
+	skip := int(expected - m.From)
+	if skip >= len(m.Blocks) {
+		// Entirely stale — not hostile, just raced; the reply to our
+		// next request will start where we are now.
+		return
+	}
+	blocks := m.Blocks[skip:]
+	if !n.verifySyncChain(blocks) {
+		n.pipeline.OnSyncRejected()
+		// The target lied or is serving garbage; rotate away from it
+		// rather than trusting its next reply.
+		n.rotateSyncTarget()
+		return
+	}
+	applyCount := len(blocks) - syncHoldback
+	if applyCount <= 0 {
+		// The gap is already within the holdback margin: the live
+		// fetch path finishes from here.
+		n.endSync()
+		return
+	}
+	for i := 0; i < applyCount; i++ {
+		b := blocks[i]
+		if !n.forest.Contains(b.ID()) {
+			attached, err := n.forest.Add(b)
+			if err != nil || len(attached) == 0 {
+				// Cannot happen for a verified contiguous range, but
+				// never loop on a forest refusal.
+				n.endSync()
+				return
+			}
+			for _, ab := range attached {
+				n.scrubPayload(ab)
+				abID := ab.ID()
+				if qc, ok := n.pendingQCs[abID]; ok {
+					delete(n.pendingQCs, abID)
+					n.handleQC(qc)
+				}
+			}
+		}
+		// The block's own certificate certifies its parent: ride it
+		// through the normal path so the forest marks certification,
+		// the protocol rules see the QC, and the pacemaker view
+		// fast-forwards toward the live chain.
+		n.handleQC(b.QC)
+	}
+	// The first held-back block's certificate covers the applied tip.
+	n.handleQC(blocks[applyCount].QC)
+	n.commit(blocks[applyCount-1])
+	if gained := n.forest.CommittedHeight() - before; gained > 0 {
+		n.pipeline.OnSyncApplied(gained)
+	}
+	n.syncLastHeight = n.forest.CommittedHeight()
+	if m.Head > n.syncLastHeight+syncHoldback {
+		n.sendSyncRequest()
+		return
+	}
+	n.endSync()
+}
+
+// verifySyncChain checks a response range as a certified chain
+// anchored at the committed head: contiguous parent links, each
+// certificate naming the predecessor, and every certificate carrying a
+// verified quorum of signatures. A view-0 ("genesis") certificate is
+// implicit-valid only for the real genesis block — anywhere else it is
+// a forgery that skips signature checks.
+func (n *Node) verifySyncChain(blocks []*types.Block) bool {
+	genesisID := types.Genesis().ID()
+	prevID := n.forest.CommittedHead().ID()
+	quorum := n.cfg.Quorum()
+	for _, b := range blocks {
+		if b == nil || b.QC == nil || b.Parent != prevID || b.QC.BlockID != prevID {
+			return false
+		}
+		if b.QC.IsGenesis() && prevID != genesisID {
+			return false
+		}
+		if err := crypto.VerifyQC(n.scheme, b.QC, quorum); err != nil {
+			return false
+		}
+		prevID = b.ID()
+	}
+	return true
+}

@@ -296,6 +296,11 @@ func (f *Forest) ExtendsNotarized(b *types.Block) bool {
 // CommittedHeight returns the height of the committed tip.
 func (f *Forest) CommittedHeight() uint64 { return f.head.height }
 
+// KeepWindow returns how many committed heights of full blocks the
+// forest retains below the tip — the boundary past which catch-up must
+// be served from the ledger.
+func (f *Forest) KeepWindow() uint64 { return f.keepWindow }
+
 // CommittedHead returns the committed tip block.
 func (f *Forest) CommittedHead() *types.Block { return f.head.block }
 

@@ -14,6 +14,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/election"
 	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/types"
 	"github.com/bamboo-bft/bamboo/internal/workload"
 )
 
@@ -43,8 +44,15 @@ type Experiment struct {
 	// election (the Section V-E design choice).
 	Election string `json:"election,omitempty"`
 	// LedgerDir, when set, gives every replica a persistent ledger
-	// file of its committed chain under this directory.
+	// file of its committed chain under this directory. When empty,
+	// replicas get ledgers in a temporary directory removed at
+	// teardown — persistence is what ledger-backed deep catch-up
+	// serves from, so it is on by default.
 	LedgerDir string `json:"ledgerDir,omitempty"`
+	// DisableLedger turns per-replica persistence off, and with it
+	// deep catch-up: replicas isolated past the forest keep window
+	// then stay behind. Control-experiment knob.
+	DisableLedger bool `json:"disableLedger,omitempty"`
 }
 
 // MeasurePlan declares how a scenario is loaded and measured. Exactly
@@ -143,6 +151,17 @@ type Result struct {
 	Pipeline metrics.PipelineStats `json:"pipeline"`
 	// Network totals the switch counters of the final level.
 	Network NetworkStats `json:"network"`
+	// Heights is every replica's final committed height (index is
+	// replica ID minus one) at the end of the final level — the raw
+	// material of the recovery verdict below.
+	Heights []uint64 `json:"heights,omitempty"`
+	// Recovered reports whether every honest replica finished within
+	// one forest keep window of the highest honest committed height.
+	// With ledger-backed state sync this holds even for schedules
+	// that isolate a replica for far longer than the keep window; a
+	// false verdict means some replica was still catching up (or
+	// never did) when the run ended.
+	Recovered bool `json:"recovered"`
 	// Consistent records the cross-replica consistency verdict over
 	// every level.
 	Consistent bool `json:"consistent"`
@@ -273,8 +292,9 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	var p Point
 	cfg := exp.Config
 	opts := cluster.Options{
-		WithStores: exp.Measure.WithStores || exp.Workload.Stores(),
-		LedgerDir:  exp.LedgerDir,
+		WithStores:    exp.Measure.WithStores || exp.Workload.Stores(),
+		LedgerDir:     exp.LedgerDir,
+		DisableLedger: exp.DisableLedger,
 	}
 	if exp.Election == ElectionHashed {
 		opts.Elector = election.NewHashed(cfg.N, cfg.Seed)
@@ -355,6 +375,7 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	res.Pipeline = p.Pipeline
 	msgs, bytes, dropped := c.NetworkStats()
 	res.Network = NetworkStats{Msgs: msgs, Bytes: bytes, Dropped: dropped}
+	res.Heights, res.Recovered = recoveryVerdict(c, cfg)
 	if series != nil {
 		res.Series = series.Rates()
 	}
@@ -366,4 +387,35 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 		return p, fmt.Errorf("harness: %d safety violations", res.Violations)
 	}
 	return p, nil
+}
+
+// recoveryVerdict snapshots every replica's committed height at the
+// end of a level and judges whether the honest ones converged: each
+// must be within one keep window of the highest honest height, the
+// band the live fetch path covers without deep sync. Fault schedules
+// that isolate a replica for longer than the keep window only pass
+// this with ledger-backed catch-up working.
+func recoveryVerdict(c *cluster.Cluster, cfg config.Config) ([]uint64, bool) {
+	heights := make([]uint64, cfg.N)
+	var maxHonest uint64
+	for i := 1; i <= cfg.N; i++ {
+		id := types.NodeID(i)
+		h := c.Node(id).Status().CommittedHeight
+		heights[i-1] = h
+		if !cfg.IsByzantine(id) && h > maxHonest {
+			maxHonest = h
+		}
+	}
+	slack := uint64(cfg.KeepWindow())
+	recovered := true
+	for i := 1; i <= cfg.N; i++ {
+		id := types.NodeID(i)
+		if cfg.IsByzantine(id) {
+			continue
+		}
+		if heights[i-1]+slack < maxHonest {
+			recovered = false
+		}
+	}
+	return heights, recovered
 }

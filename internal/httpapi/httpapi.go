@@ -8,8 +8,9 @@
 //	POST /tx      submit a transaction; the response returns when the
 //	              transaction commits (or the request times out).
 //	GET  /status  replica snapshot: current view, committed height,
-//	              plus the per-stage pipeline latencies (verify-queue
-//	              wait, apply lag).
+//	              state-sync progress (Syncing/SyncApplied), plus the
+//	              per-stage pipeline latencies (verify-queue wait,
+//	              apply lag).
 //	GET  /hash    committed block hash at ?height=N (consistency check).
 //	GET  /metrics chain micro-metrics (CGR, BI, committed counts) plus
 //	              the pipeline stage counters under "pipeline".
@@ -141,9 +142,11 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// statusResponse augments the replica snapshot with the pipeline's
-// per-stage latencies, so operators can see at a glance whether the
-// verification pool or the commit-apply stage is the bottleneck.
+// statusResponse augments the replica snapshot (which carries the
+// state-sync progress fields) with the pipeline's per-stage latencies,
+// so operators can see at a glance whether the verification pool or
+// the commit-apply stage is the bottleneck — or whether the replica is
+// still streaming catch-up batches.
 type statusResponse struct {
 	core.Status
 	VerifyQueueWait metrics.LatencySummary `json:"verifyQueueWait"`

@@ -3,14 +3,25 @@
 // storage for garbage collection", and the forest's compaction assumes
 // something downstream retains the history. A Ledger is that something:
 // an append-only file of committed blocks in commit order, with a
-// replay path for audits and crash recovery.
+// replay path for audits and crash recovery, and a ranged read path
+// (ReadRange) that serves deep state-sync requests without replaying
+// the whole file.
 //
 // The format is a sequence of length-prefixed, self-contained gob
 // records (each record carries its own type header, so a reopened
 // ledger can keep appending and a single replay can read across
-// sessions). Appends run on the replica's commit path and are
-// synchronous but cheap; a deployment wanting group commit can use
+// sessions). Records persist each block's quorum certificate alongside
+// its contents, so a range served to a lagging replica is verifiable
+// as a certified chain. Appends run on the replica's commit path and
+// are synchronous but cheap; a deployment wanting group commit can use
 // OpenBuffered.
+//
+// Crash recovery follows the usual write-ahead-log rule: a truncated
+// final record is the footprint of a crash mid-append, so replay stops
+// cleanly at the last intact record and Open truncates the damaged
+// tail before appending. A record that is structurally complete but
+// fails to decode, or a broken height/parent chain, is real corruption
+// and is reported as an error.
 package ledger
 
 import (
@@ -27,6 +38,12 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
+// Errors reported by the ranged read path.
+var (
+	ErrEmptyRange = errors.New("ledger: empty range")
+	ErrPastHead   = errors.New("ledger: range starts past the persisted head")
+)
+
 // record is one persisted block.
 type record struct {
 	Height   uint64
@@ -35,20 +52,35 @@ type record struct {
 	Parent   types.Hash
 	ID       types.Hash
 	Payload  []types.Transaction
+	// QC is the block's embedded certificate (certifying the parent);
+	// persisting it makes a read range verifiable as a certified
+	// chain. Records written before QC persistence decode with a nil
+	// QC and cannot be served to sync requesters.
+	QC *types.QC
+	// Sig is the proposer's signature over the block ID.
+	Sig []byte
 }
 
 // Ledger is an append-only store of committed blocks.
 type Ledger struct {
 	mu     sync.Mutex
+	path   string
 	f      *os.File
 	w      io.Writer
 	flush  func() error
 	height uint64
+	// offsets[h-1] is the file offset of the record for height h —
+	// the height index behind ReadRange. Heights are contiguous from
+	// 1, so a slice is the whole index.
+	offsets []int64
+	// size is the current end-of-file offset (all appends accounted).
+	size   int64
 	closed bool
 }
 
 // Open creates (or appends to) the ledger at path. If the file already
-// contains records, the ledger resumes from the last height.
+// contains records, the ledger resumes from the last height; a
+// truncated tail left by a crash mid-append is cut off first.
 func Open(path string) (*Ledger, error) {
 	return open(path, false)
 }
@@ -60,20 +92,22 @@ func OpenBuffered(path string) (*Ledger, error) {
 }
 
 func open(path string, buffered bool) (*Ledger, error) {
-	// Resume point: scan any existing records first.
-	var height uint64
-	err := Replay(path, func(b *types.Block, h uint64) error {
-		height = h
-		return nil
-	})
+	sc, err := scan(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
+	}
+	if sc.truncated {
+		// Crash footprint: drop the partial record so the next append
+		// does not interleave with garbage.
+		if err := os.Truncate(path, sc.end); err != nil {
+			return nil, fmt.Errorf("ledger: recover tail: %w", err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
-	l := &Ledger{f: f, height: height}
+	l := &Ledger{path: path, f: f, height: sc.height, offsets: sc.offsets, size: sc.end}
 	if buffered {
 		bw := bufio.NewWriterSize(f, 1<<16)
 		l.w = bw
@@ -104,6 +138,8 @@ func (l *Ledger) Append(b *types.Block, height uint64) error {
 		Parent:   b.Parent,
 		ID:       b.ID(),
 		Payload:  b.Payload,
+		QC:       b.QC,
+		Sig:      b.Sig,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
@@ -117,6 +153,8 @@ func (l *Ledger) Append(b *types.Block, height uint64) error {
 	if _, err := l.w.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("ledger: append: %w", err)
 	}
+	l.offsets = append(l.offsets, l.size)
+	l.size += int64(n) + int64(buf.Len())
 	l.height = height
 	return nil
 }
@@ -152,9 +190,93 @@ func (l *Ledger) Close() error {
 	return l.f.Close()
 }
 
+// ReadRange returns the persisted blocks at heights [from, to] in
+// height order, seeking straight to the first record through the
+// height index instead of replaying the file. A `to` beyond the
+// persisted head is clamped to it; a `from` past the head returns
+// ErrPastHead and an inverted range returns ErrEmptyRange. Returned
+// blocks carry their certificate and proposer signature, so a sync
+// response built from them is verifiable end to end.
+func (l *Ledger) ReadRange(from, to uint64) ([]*types.Block, error) {
+	l.mu.Lock()
+	if from == 0 || from > to {
+		l.mu.Unlock()
+		return nil, ErrEmptyRange
+	}
+	if from > l.height {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d > %d", ErrPastHead, from, l.height)
+	}
+	if to > l.height {
+		to = l.height
+	}
+	// Flush so a buffered appender's records are visible to the read
+	// below; the read uses its own descriptor, leaving the append
+	// position untouched.
+	if err := l.flush(); err != nil {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("ledger: flush: %w", err)
+	}
+	start := l.offsets[from-1]
+	path := l.path
+	l.mu.Unlock()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("ledger: seek: %w", err)
+	}
+	br := bufio.NewReader(f)
+	out := make([]*types.Block, 0, to-from+1)
+	for h := from; h <= to; h++ {
+		rec, _, status, err := readRecord(br)
+		if status != frameOK {
+			if err == nil {
+				err = errors.New("unexpected end of file")
+			}
+			return nil, fmt.Errorf("ledger: read height %d: %w", h, err)
+		}
+		if rec.Height != h {
+			return nil, fmt.Errorf("ledger: index skew: record %d where %d expected", rec.Height, h)
+		}
+		b, err := rec.block()
+		if err != nil {
+			return nil, fmt.Errorf("ledger: height %d: %w", h, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// block reconstructs the persisted block and checks that the
+// reconstruction hashes back to the recorded identity — the cheap
+// integrity check that keeps a bit-rotted record from being served.
+func (rec *record) block() (*types.Block, error) {
+	if rec.QC == nil {
+		return nil, errors.New("record predates certificate persistence")
+	}
+	b := &types.Block{
+		View:     rec.View,
+		Proposer: rec.Proposer,
+		Parent:   rec.Parent,
+		QC:       rec.QC,
+		Payload:  rec.Payload,
+		Sig:      rec.Sig,
+	}
+	if b.ID() != rec.ID {
+		return nil, errors.New("record identity mismatch")
+	}
+	return b, nil
+}
+
 // Replay streams the persisted chain in commit order, reconstructing
 // blocks and verifying that heights are contiguous and parent hashes
-// chain correctly. fn receives each block and its height.
+// chain correctly. fn receives each block and its height. A truncated
+// final record (crash mid-append) ends the replay cleanly at the last
+// intact record; structural corruption is reported as an error.
 func Replay(path string, fn func(b *types.Block, height uint64) error) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -166,22 +288,11 @@ func Replay(path string, fn func(b *types.Block, height uint64) error) error {
 	var prevHeight uint64
 	first := true
 	for {
-		size, err := binary.ReadUvarint(br)
+		rec, _, status, err := readRecord(br)
+		if status == frameEnd || status == frameTruncated {
+			return nil
+		}
 		if err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("ledger: corrupt frame after height %d: %w", prevHeight, err)
-		}
-		if size > 1<<30 {
-			return fmt.Errorf("ledger: implausible record size %d after height %d", size, prevHeight)
-		}
-		frame := make([]byte, size)
-		if _, err := io.ReadFull(br, frame); err != nil {
-			return fmt.Errorf("ledger: truncated record after height %d: %w", prevHeight, err)
-		}
-		var rec record
-		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&rec); err != nil {
 			return fmt.Errorf("ledger: corrupt record after height %d: %w", prevHeight, err)
 		}
 		if !first && rec.Height != prevHeight+1 {
@@ -194,11 +305,128 @@ func Replay(path string, fn func(b *types.Block, height uint64) error) error {
 			View:     rec.View,
 			Proposer: rec.Proposer,
 			Parent:   rec.Parent,
+			QC:       rec.QC,
 			Payload:  rec.Payload,
+			Sig:      rec.Sig,
 		}
 		if err := fn(b, rec.Height); err != nil {
 			return err
 		}
 		prevID, prevHeight, first = rec.ID, rec.Height, false
+	}
+}
+
+// frameStatus classifies the outcome of reading one record frame.
+type frameStatus int
+
+const (
+	frameOK frameStatus = iota
+	// frameEnd is a clean end of file on a frame boundary.
+	frameEnd
+	// frameTruncated is an incomplete final frame — the footprint of a
+	// crash mid-append, distinct from corruption.
+	frameTruncated
+	// frameCorrupt is a structurally damaged record.
+	frameCorrupt
+)
+
+// readRecord reads one length-prefixed record, reporting the frame's
+// total on-disk length. It distinguishes a clean end of stream and a
+// truncated tail from real corruption.
+func readRecord(br *bufio.Reader) (rec record, n int64, status frameStatus, err error) {
+	if _, err := br.Peek(1); err == io.EOF {
+		return rec, 0, frameEnd, nil
+	}
+	size, vn, err := readUvarintCount(br)
+	if err != nil {
+		// A varint cut off by end-of-file is a torn final frame.
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return rec, 0, frameTruncated, nil
+		}
+		return rec, 0, frameCorrupt, err
+	}
+	if size > 1<<30 {
+		return rec, 0, frameCorrupt, fmt.Errorf("implausible record size %d", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(br, frame); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return rec, 0, frameTruncated, nil
+		}
+		return rec, 0, frameCorrupt, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&rec); err != nil {
+		return rec, 0, frameCorrupt, err
+	}
+	return rec, int64(vn) + int64(size), frameOK, nil
+}
+
+// readUvarintCount is binary.ReadUvarint plus the number of bytes
+// consumed, so scan can maintain exact file offsets.
+func readUvarintCount(br *bufio.Reader) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return 0, i, io.ErrUnexpectedEOF
+			}
+			return 0, i, err
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, binary.MaxVarintLen64, errors.New("uvarint overflows 64 bits")
+}
+
+// scanResult summarizes a file walk: the height index, the end offset
+// of the last intact record, the resume height, and whether a torn
+// tail follows.
+type scanResult struct {
+	offsets   []int64
+	end       int64
+	height    uint64
+	truncated bool
+}
+
+// scan walks the file building the height index and finding the safe
+// append point, enforcing the same chain structure Replay does —
+// contiguous heights, each record's parent naming its predecessor. A
+// ledger with garbage or a broken link in the middle must not
+// silently resume (or be served to catch-up peers).
+func scan(path string) (scanResult, error) {
+	var sc scanResult
+	f, err := os.Open(path)
+	if err != nil {
+		return sc, err
+	}
+	defer func() { _ = f.Close() }()
+	br := bufio.NewReader(f)
+	var prevID types.Hash
+	for {
+		rec, n, status, err := readRecord(br)
+		switch status {
+		case frameEnd:
+			return sc, nil
+		case frameTruncated:
+			sc.truncated = true
+			return sc, nil
+		case frameCorrupt:
+			return sc, fmt.Errorf("ledger: corrupt record after height %d: %w", sc.height, err)
+		}
+		if rec.Height != sc.height+1 {
+			return sc, fmt.Errorf("ledger: height gap: %d after %d", rec.Height, sc.height)
+		}
+		if sc.height > 0 && rec.Parent != prevID {
+			return sc, fmt.Errorf("ledger: broken chain at height %d", rec.Height)
+		}
+		sc.offsets = append(sc.offsets, sc.end)
+		sc.height = rec.Height
+		sc.end += n
+		prevID = rec.ID
 	}
 }

@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -141,8 +142,79 @@ func TestReplayDetectsBrokenChain(t *testing.T) {
 	if err := Replay(path, func(*types.Block, uint64) error { return nil }); err == nil {
 		t.Fatal("broken parent chain not detected")
 	}
+	// Reopening must refuse too: a parent-broken ledger would
+	// otherwise be served to catch-up peers, who burn a batch
+	// verification each before rejecting it.
+	if _, err := Open(path); err == nil {
+		t.Fatal("broken parent chain not detected on reopen")
+	}
 }
 
+// TestTruncatedTailRecovery: a final record cut off mid-write (the
+// crash-mid-append footprint) must not poison the file. Replay stops
+// cleanly at the last intact record, reopening truncates the damaged
+// tail, and both appends and ranged reads continue from there.
+func TestTruncatedTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := buildChain(4)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(blocks[i], uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail mid-record.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	// Replay stops cleanly at the last intact record: two blocks, no
+	// error.
+	var replayed int
+	if err := Replay(path, func(*types.Block, uint64) error { replayed++; return nil }); err != nil {
+		t.Fatalf("truncated tail reported as corruption: %v", err)
+	}
+	if replayed != 2 {
+		t.Fatalf("replayed %d intact records, want 2", replayed)
+	}
+	// Reopen: the torn tail is cut, height resumes at 2, and the next
+	// append lands at 3.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Height() != 2 {
+		t.Fatalf("recovered height = %d, want 2", l2.Height())
+	}
+	if err := l2.Append(blocks[2], 3); err != nil {
+		t.Fatal(err)
+	}
+	// The ranged read path also stops at intact records only.
+	got, err := l2.ReadRange(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].ID() != blocks[2].ID() {
+		t.Fatalf("post-recovery range wrong: %d blocks", len(got))
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayDetectsCorruption: structural damage that is NOT a torn
+// tail — a length prefix rewritten to an implausible size in the
+// middle of the file — must still fail loudly, for Replay and Open
+// both.
 func TestReplayDetectsCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.ledger")
 	l, err := Open(path)
@@ -157,16 +229,116 @@ func TestReplayDetectsCorruption(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate mid-record.
-	info, err := os.Stat(path)
+	// Stomp the first record's length prefix with a varint decoding
+	// far past any plausible record size.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(path, info.Size()-7); err != nil {
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := Replay(path, func(*types.Block, uint64) error { return nil }); err == nil {
-		t.Fatal("corruption not detected")
+		t.Fatal("corruption not detected by replay")
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corruption not detected on reopen")
+	}
+}
+
+// TestReadRangeBoundaries covers the ranged read path's edges: empty
+// and inverted ranges, ranges starting past the head, clamping of the
+// far end, and a range spanning a close/reopen (the height index is
+// rebuilt from the file).
+func TestReadRangeBoundaries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	blocks := buildChain(10)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(blocks[i], uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := l.ReadRange(0, 3); err == nil {
+		t.Fatal("height zero accepted")
+	}
+	if _, err := l.ReadRange(4, 2); !errors.Is(err, ErrEmptyRange) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err := l.ReadRange(6, 9); !errors.Is(err, ErrPastHead) {
+		t.Fatalf("range past head: %v", err)
+	}
+	// A far end beyond the head clamps to it.
+	got, err := l.ReadRange(3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ID() != blocks[2].ID() || got[2].ID() != blocks[4].ID() {
+		t.Fatalf("clamped range wrong: %d blocks", len(got))
+	}
+	for _, b := range got {
+		if b.QC == nil {
+			t.Fatal("range lost its certificate")
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and extend; a range spanning both sessions reads through.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l2.Close() }()
+	for i := 5; i < 10; i++ {
+		if err := l2.Append(blocks[i], uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = l2.ReadRange(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("cross-session range has %d blocks, want 5", len(got))
+	}
+	for i, b := range got {
+		if b.ID() != blocks[3+i].ID() {
+			t.Fatalf("cross-session range block %d mangled", i)
+		}
+	}
+}
+
+// TestReadRangeSeesBufferedAppends: a buffered ledger must flush
+// before a ranged read, so a serving replica never hides its freshest
+// committed blocks from a catch-up peer.
+func TestReadRangeSeesBufferedAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.ledger")
+	l, err := OpenBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	blocks := buildChain(3)
+	for i, b := range blocks {
+		if err := l.Append(b, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := l.ReadRange(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("buffered appends invisible to range read: %d blocks", len(got))
 	}
 }
 

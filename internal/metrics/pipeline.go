@@ -34,6 +34,18 @@ type PipelineStats struct {
 	DigestFetched uint64
 	// BlocksApplied counts blocks executed by the commit-apply stage.
 	BlocksApplied uint64
+	// SyncRequestsSent counts ranged catch-up requests this replica
+	// issued while in deep state sync.
+	SyncRequestsSent uint64
+	// SyncBatchesServed counts ranged batches this replica served to
+	// lagging peers from its ledger and forest.
+	SyncBatchesServed uint64
+	// SyncBlocksApplied counts committed blocks fast-forwarded through
+	// verified state-sync responses.
+	SyncBlocksApplied uint64
+	// SyncRejected counts sync responses dropped for being
+	// unsolicited, mis-ranged, or failing certificate verification.
+	SyncRejected uint64
 }
 
 // PipelineTracker accumulates PipelineStats. The zero value is ready
@@ -50,6 +62,11 @@ type PipelineTracker struct {
 	resolved  Counter
 	fetched   Counter
 	applied   Counter
+
+	syncRequests Counter
+	syncServed   Counter
+	syncApplied  Counter
+	syncRejected Counter
 }
 
 // OnVerifyBatch records one verification pool batch: the queue wait of
@@ -84,6 +101,22 @@ func (p *PipelineTracker) OnBlockApplied(lag time.Duration) {
 	p.applied.Add(1)
 }
 
+// OnSyncRequested records one ranged catch-up request sent.
+func (p *PipelineTracker) OnSyncRequested() { p.syncRequests.Add(1) }
+
+// OnSyncServed records one ranged batch served to a lagging peer.
+func (p *PipelineTracker) OnSyncServed() { p.syncServed.Add(1) }
+
+// OnSyncApplied records n blocks fast-forwarded through state sync.
+func (p *PipelineTracker) OnSyncApplied(n uint64) { p.syncApplied.Add(n) }
+
+// OnSyncRejected records a sync response dropped by verification.
+func (p *PipelineTracker) OnSyncRejected() { p.syncRejected.Add(1) }
+
+// SyncApplied returns the running count of sync-applied blocks (the
+// replica status surface reads it without a full snapshot).
+func (p *PipelineTracker) SyncApplied() uint64 { return p.syncApplied.Load() }
+
 // Snapshot digests the tracker.
 func (p *PipelineTracker) Snapshot() PipelineStats {
 	return PipelineStats{
@@ -97,5 +130,10 @@ func (p *PipelineTracker) Snapshot() PipelineStats {
 		DigestResolved:  p.resolved.Load(),
 		DigestFetched:   p.fetched.Load(),
 		BlocksApplied:   p.applied.Load(),
+
+		SyncRequestsSent:  p.syncRequests.Load(),
+		SyncBatchesServed: p.syncServed.Load(),
+		SyncBlocksApplied: p.syncApplied.Load(),
+		SyncRejected:      p.syncRejected.Load(),
 	}
 }

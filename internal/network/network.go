@@ -77,6 +77,16 @@ func messageSize(msg any) int {
 			n += m.Txs[i].Size()
 		}
 		return n
+	case types.SyncRequestMsg:
+		return 24 // two heights plus framing
+	case types.SyncResponseMsg:
+		n := 24
+		for _, b := range m.Blocks {
+			if b != nil {
+				n += b.Size()
+			}
+		}
+		return n
 	case Sizer:
 		return m.Size()
 	}

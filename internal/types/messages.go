@@ -74,6 +74,31 @@ type FetchMsg struct {
 	BlockID Hash
 }
 
+// SyncRequestMsg asks a peer for a contiguous range of committed
+// blocks — the deep catch-up path for replicas whose gap outruns the
+// forest keep window, where per-block FetchMsg walks dead-end. From is
+// the first wanted height (the requester's committed height plus one);
+// To bounds the range, with zero meaning "as far as you have". Peers
+// serve the range from their persistent ledger, falling back to the
+// in-memory forest for recent heights.
+type SyncRequestMsg struct {
+	From uint64
+	To   uint64
+}
+
+// SyncResponseMsg answers a SyncRequestMsg with committed blocks in
+// height order starting at From. Each block carries the quorum
+// certificate for its parent, so the requester verifies the whole
+// range as a certified chain anchored at its own committed head —
+// forged history from a Byzantine peer fails certificate verification.
+// Head is the responder's committed height; an empty Blocks slice with
+// Head at or below the requester's height tells it catch-up is done.
+type SyncResponseMsg struct {
+	From   uint64
+	Blocks []*Block
+	Head   uint64
+}
+
 // QueryMsg asks a replica for local state (committed height, metrics);
 // used by the HTTP API and the benchmarker.
 type QueryMsg struct {
