@@ -180,9 +180,22 @@ const (
 	ElectionHashed     = harness.ElectionHashed
 )
 
+// Transport backends for Experiment.Backend: the in-process channel
+// switch (default), or one real loopback TCP listener per replica.
+// The declared fault schedule means the same thing on both.
+const (
+	BackendSwitch = harness.BackendSwitch
+	BackendTCP    = harness.BackendTCP
+)
+
 // Run executes a declared experiment and returns its structured
 // result — the framework's evaluation entry point.
 func Run(exp Experiment) (*Result, error) { return harness.Run(exp) }
+
+// LoadExperiment reads a declared scenario from a JSON file,
+// validating it (unknown fields rejected) before it can run — the
+// `bamboo-bench -run scenario.json` loader.
+func LoadExperiment(path string) (Experiment, error) { return harness.LoadExperiment(path) }
 
 // Fault-schedule constructors: each returns one timed event whose
 // offset is measured from cluster start.

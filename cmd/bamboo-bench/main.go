@@ -8,12 +8,20 @@
 // Usage:
 //
 //	bamboo-bench [-scale 0.25] [-seed 1] [-json dir] table2 fig8 ... | all
+//	bamboo-bench -run scenario.json [-backend tcp] [-json dir]
 //
 // -scale 1 runs paper-like durations; smaller values shrink every
 // warmup/measurement window proportionally. -json writes one
 // BENCH_<experiment>.json file per selected experiment into the given
 // directory (created if missing), each an array of harness Results.
 // `all` runs everything in order.
+//
+// -run executes one declared scenario from a JSON Experiment file
+// (validated before anything starts) instead of the named experiments;
+// -backend deploys over the in-process switch or real loopback TCP
+// sockets, overriding the scenario's own backend — the same file must
+// yield a consistent Result on either, which is exactly what the
+// tcp-smoke CI job asserts.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/bench"
+	"github.com/bamboo-bft/bamboo/internal/harness"
 )
 
 var experiments = []struct {
@@ -53,12 +62,15 @@ var experiments = []struct {
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.25, "duration scale; 1.0 = paper-like run lengths")
-		seed    = flag.Int64("seed", 1, "workload and key seed")
-		jsonDir = flag.String("json", "", "directory for BENCH_<experiment>.json result files")
+		scale    = flag.Float64("scale", 0.25, "duration scale; 1.0 = paper-like run lengths")
+		seed     = flag.Int64("seed", 1, "workload and key seed")
+		jsonDir  = flag.String("json", "", "directory for BENCH_<experiment>.json result files")
+		scenario = flag.String("run", "", "JSON scenario (Experiment) file to run instead of named experiments")
+		backend  = flag.String("backend", "", `transport backend: "switch" (in-process, default) or "tcp" (loopback sockets)`)
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bamboo-bench [flags] <experiment>... | all\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: bamboo-bench [flags] <experiment>... | all\n")
+		fmt.Fprintf(os.Stderr, "       bamboo-bench -run scenario.json [-backend tcp]\n\nexperiments:\n")
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-20s %s\n", e.name, e.desc)
 		}
@@ -67,6 +79,34 @@ func main() {
 	}
 	flag.Parse()
 	args := flag.Args()
+	log.SetFlags(0)
+	switch *backend {
+	case "", harness.BackendSwitch, harness.BackendTCP:
+	default:
+		log.Fatalf("bamboo-bench: unknown backend %q (want switch or tcp)", *backend)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			log.Fatalf("bamboo-bench: %v", err)
+		}
+	}
+	if *scenario != "" {
+		if len(args) > 0 {
+			log.Fatalf("bamboo-bench: -run replaces named experiments; drop %q", args[0])
+		}
+		// A scenario file carries its own durations and seed; letting
+		// -scale/-seed pass silently would measure under parameters
+		// the user thinks they set.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" || f.Name == "seed" {
+				log.Fatalf("bamboo-bench: -%s does not apply to -run (the scenario file declares its own)", f.Name)
+			}
+		})
+		if err := runScenario(*scenario, *backend, *jsonDir); err != nil {
+			log.Fatalf("bamboo-bench: %v", err)
+		}
+		return
+	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -86,19 +126,13 @@ func main() {
 			}
 		}
 		if !known {
-			log.SetFlags(0)
 			log.Fatalf("bamboo-bench: unknown experiment %q (try -h)", a)
 		}
 		selected[a] = true
 	}
-	if *jsonDir != "" {
-		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
-			log.SetFlags(0)
-			log.Fatalf("bamboo-bench: %v", err)
-		}
-	}
 
 	runner := bench.NewRunner(os.Stdout, *scale, *seed)
+	runner.Backend = *backend
 	for _, e := range experiments {
 		if !selected[e.name] {
 			continue
@@ -106,7 +140,6 @@ func main() {
 		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
 		start := time.Now()
 		if err := e.run(runner); err != nil {
-			log.SetFlags(0)
 			log.Fatalf("bamboo-bench: %s: %v", e.name, err)
 		}
 		fmt.Printf("=== %s done in %v ===\n\n", e.name, time.Since(start).Round(time.Millisecond))
@@ -119,16 +152,67 @@ func main() {
 				res.Name = e.name
 			}
 		}
-		path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", e.name))
-		data, err := json.MarshalIndent(results, "", "  ")
-		if err != nil {
-			log.SetFlags(0)
-			log.Fatalf("bamboo-bench: marshal %s: %v", e.name, err)
-		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			log.SetFlags(0)
+		if err := writeResults(*jsonDir, e.name, results); err != nil {
 			log.Fatalf("bamboo-bench: %v", err)
 		}
-		fmt.Printf("wrote %s (%d results)\n\n", path, len(results))
 	}
+}
+
+// writeResults exports one experiment's structured results as
+// BENCH_<name>.json in dir.
+func writeResults(dir, name string, results []*harness.Result) error {
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", name))
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", name, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n\n", path, len(results))
+	return nil
+}
+
+// runScenario loads, validates, and executes one declared scenario
+// file, printing a summary and exporting the Result (named
+// BENCH_<scenario>-<backend>.json so runs of the same file over both
+// backends sit side by side). The result file is written even when the
+// run fails, so CI artifacts capture the Error field.
+func runScenario(path, backend, jsonDir string) error {
+	exp, err := harness.LoadExperiment(path)
+	if err != nil {
+		return err
+	}
+	if backend != "" {
+		exp.Backend = backend
+	}
+	fmt.Printf("=== scenario %s (backend %s) ===\n", exp.Name,
+		resolvedBackend(exp.Backend))
+	start := time.Now()
+	res, runErr := harness.Run(exp)
+	fmt.Printf("=== scenario %s done in %v ===\n", exp.Name, time.Since(start).Round(time.Millisecond))
+	for i, p := range res.Points {
+		fmt.Printf("point %d: offered %.0f -> %.1f tx/s, p50 %v, p99 %v, %d blocks\n",
+			i+1, p.Offered, p.Throughput, p.P50.Round(time.Microsecond), p.P99.Round(time.Microsecond), p.Blocks)
+	}
+	fmt.Printf("network: %d msgs, %d bytes, %d dropped", res.Network.Msgs, res.Network.Bytes, res.Network.Dropped)
+	if res.Network.Dials > 0 {
+		fmt.Printf(", %d dials (%d redials)", res.Network.Dials, res.Network.Redials)
+	}
+	fmt.Printf("\nconsistent=%v recovered=%v violations=%d\n", res.Consistent, res.Recovered, res.Violations)
+	if jsonDir != "" {
+		name := fmt.Sprintf("%s-%s", res.Name, res.Backend)
+		if err := writeResults(jsonDir, name, []*harness.Result{res}); err != nil {
+			return err
+		}
+	}
+	return runErr
+}
+
+// resolvedBackend names the backend a blank declaration falls back to.
+func resolvedBackend(b string) string {
+	if b == "" {
+		return harness.BackendSwitch
+	}
+	return b
 }

@@ -46,6 +46,10 @@ type Runner struct {
 	ByzLevels []int
 	// Levels overrides the closed-loop concurrency ladder.
 	Levels []int
+	// Backend deploys every experiment over the named transport
+	// backend ("" keeps the harness default, the in-process switch;
+	// "tcp" uses loopback sockets).
+	Backend string
 
 	// results accumulates the structured outcome of every harness
 	// run since the last TakeResults call.
@@ -153,7 +157,8 @@ func (r *Runner) TakeResults() []*harness.Result {
 // measurement.
 func (r *Runner) experiment(cfg config.Config, warm, window time.Duration, opt measureOpt) harness.Experiment {
 	return harness.Experiment{
-		Config: cfg,
+		Config:  cfg,
+		Backend: r.Backend,
 		Measure: harness.MeasurePlan{
 			Warmup:     warm,
 			Window:     window,

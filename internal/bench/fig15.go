@@ -72,8 +72,9 @@ func (r *Runner) runResponsivenessRun(proto string, timeout time.Duration, respo
 	cfg.StrategyDelay = pre + fluct
 
 	exp := harness.Experiment{
-		Name:   "fig15-" + proto,
-		Config: cfg,
+		Name:    "fig15-" + proto,
+		Config:  cfg,
+		Backend: r.Backend,
 		Faults: harness.FaultSchedule{
 			harness.FluctuateAt(pre, fluct, 10*time.Millisecond, 100*time.Millisecond),
 		},

@@ -1,7 +1,8 @@
 // Package cluster orchestrates an in-process Bamboo deployment: N
-// replicas over the channel switch, a shared signature scheme, fault
-// injection through the network condition model, benchmark clients,
-// and cross-replica consistency checking. Integration tests and every
+// replicas over the channel switch or over real loopback TCP sockets
+// (Options.Backend), a shared signature scheme, fault injection
+// through the network condition model, benchmark clients, and
+// cross-replica consistency checking. Integration tests and every
 // figure's bench runner build on it.
 package cluster
 
@@ -29,8 +30,25 @@ import (
 // clientIDBase offsets client endpoint IDs above any replica ID.
 const clientIDBase = 1 << 16
 
+// Backend names accepted by Options.Backend.
+const (
+	// BackendSwitch deploys over the in-process channel switch — the
+	// simulation substrate with scheduler-driven delay modelling.
+	BackendSwitch = "switch"
+	// BackendTCP deploys one real TCP listener per replica on
+	// loopback, with the condition model applied by a per-endpoint
+	// shim — declared scenarios over real sockets.
+	BackendTCP = "tcp"
+)
+
 // Options tunes cluster assembly.
 type Options struct {
+	// Backend selects the transport: "" or BackendSwitch for the
+	// in-process switch, BackendTCP for loopback TCP listeners.
+	// Fault semantics (partition/crash/delay/drop) are equivalent on
+	// both; crashes on TCP additionally tear down the node's live
+	// sockets so reconnect paths run.
+	Backend string
 	// WithStores attaches a kvstore to every replica.
 	WithStores bool
 	// CommitSeries, if non-nil, receives the observer replica's
@@ -55,16 +73,25 @@ type Options struct {
 	DisableLedger bool
 }
 
-// Cluster is a running in-process deployment.
+// Cluster is a running in-process deployment over either backend.
 type Cluster struct {
-	cfg     config.Config
-	sw      *network.Switch
-	scheme  crypto.Scheme
-	nodes   map[types.NodeID]*core.Node
-	stores  map[types.NodeID]*kvstore.Store
-	ledgers []*ledger.Ledger
-	clients []*client.Client
-	nextCli uint64
+	cfg  config.Config
+	cond *network.Conditions
+	// sw is the in-process switch (nil on the TCP backend).
+	sw *network.Switch
+	// tcps holds each replica's raw TCP transport and shims the
+	// condition wrappers handed to the nodes (both nil on the switch
+	// backend). cliShims collects client endpoints for stats; their
+	// lifecycle belongs to client.Stop.
+	tcps     map[types.NodeID]*network.TCP
+	shims    map[types.NodeID]*network.Conditioned
+	cliShims []*network.Conditioned
+	scheme   crypto.Scheme
+	nodes    map[types.NodeID]*core.Node
+	stores   map[types.NodeID]*kvstore.Store
+	ledgers  []*ledger.Ledger
+	clients  []*client.Client
+	nextCli  uint64
 	// tmpLedgerDir is the auto-created ledger directory, removed on
 	// Stop; empty when the caller supplied LedgerDir (or disabled
 	// persistence).
@@ -92,14 +119,23 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 	if cfg.Bandwidth > 0 {
 		cond.SetBandwidth(cfg.Bandwidth)
 	}
-	sw := network.NewSwitch(cond)
 
 	c := &Cluster{
 		cfg:    cfg,
-		sw:     sw,
+		cond:   cond,
 		scheme: scheme,
 		nodes:  make(map[types.NodeID]*core.Node, cfg.N),
 		stores: make(map[types.NodeID]*kvstore.Store),
+	}
+	switch opts.Backend {
+	case "", BackendSwitch:
+		c.sw = network.NewSwitch(cond)
+	case BackendTCP:
+		if err := c.buildTCP(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown backend %q", opts.Backend)
 	}
 	ledgerDir := opts.LedgerDir
 	if ledgerDir == "" && !opts.DisableLedger {
@@ -118,6 +154,12 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 		for _, led := range c.ledgers {
 			_ = led.Close()
 		}
+		if c.sw != nil {
+			c.sw.Close()
+		}
+		for _, sh := range c.shims {
+			_ = sh.Close()
+		}
 		if c.tmpLedgerDir != "" {
 			_ = os.RemoveAll(c.tmpLedgerDir)
 		}
@@ -126,9 +168,15 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 	observer := c.Observer()
 	for i := 1; i <= cfg.N; i++ {
 		id := types.NodeID(i)
-		ep, err := sw.Join(id)
-		if err != nil {
-			return fail(err)
+		var ep network.Transport
+		if c.sw != nil {
+			e, err := c.sw.Join(id)
+			if err != nil {
+				return fail(err)
+			}
+			ep = e
+		} else {
+			ep = c.shims[id]
 		}
 		nodeOpts := core.Options{OnViolation: opts.OnViolation, Elector: opts.Elector}
 		if opts.WithStores {
@@ -153,6 +201,46 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// buildTCP stands up one real TCP listener per replica on loopback
+// (ephemeral ports), cross-wires the dial addresses once every
+// transport has bound, and wraps each endpoint in the shared condition
+// model so the declared fault schedule applies identically to both
+// backends.
+func (c *Cluster) buildTCP() error {
+	ids := make([]types.NodeID, 0, c.cfg.N)
+	for i := 1; i <= c.cfg.N; i++ {
+		ids = append(ids, types.NodeID(i))
+	}
+	c.tcps = make(map[types.NodeID]*network.TCP, c.cfg.N)
+	c.shims = make(map[types.NodeID]*network.Conditioned, c.cfg.N)
+	for _, id := range ids {
+		// Peers start with empty addresses: only known after every
+		// listener has bound, then filled in below.
+		addrs := make(map[types.NodeID]string, c.cfg.N)
+		for _, peer := range ids {
+			addrs[peer] = ""
+		}
+		addrs[id] = "127.0.0.1:0"
+		tr, err := network.NewTCP(id, addrs)
+		if err != nil {
+			for _, sh := range c.shims {
+				_ = sh.Close()
+			}
+			return fmt.Errorf("cluster: tcp backend: %w", err)
+		}
+		c.tcps[id] = tr
+		c.shims[id] = network.Condition(tr, c.cond, ids)
+	}
+	for _, id := range ids {
+		for _, peer := range ids {
+			if peer != id {
+				c.tcps[id].SetPeerAddr(peer, c.tcps[peer].Addr())
+			}
+		}
+	}
+	return nil
+}
+
 // Observer returns the replica whose metrics represent the run: the
 // highest-ID node, which is always honest (Byzantine nodes take the
 // lowest IDs).
@@ -165,10 +253,14 @@ func (c *Cluster) Start() {
 	}
 }
 
-// Stop halts clients first, then replicas, then the switch scheduler,
-// then flushes and closes any ledgers. Stop is idempotent: the
-// harness's defer-based teardown and explicit shutdown paths may both
-// call it; only the first call acts.
+// Stop halts clients first (closing their endpoints), then replicas,
+// then the transport substrate — the switch scheduler, or every TCP
+// listener and connection — then flushes and closes any ledgers. On
+// the TCP backend this leaves no listener or writer goroutine behind
+// and no dial retry spinning (the tests assert it by goroutine
+// accounting). Stop is idempotent: the harness's defer-based teardown
+// and explicit shutdown paths may both call it; only the first call
+// acts.
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() {
 		for _, cl := range c.clients {
@@ -178,7 +270,12 @@ func (c *Cluster) Stop() {
 		for _, n := range c.nodes {
 			n.Stop()
 		}
-		c.sw.Close()
+		if c.sw != nil {
+			c.sw.Close()
+		}
+		for _, sh := range c.shims {
+			_ = sh.Close()
+		}
 		for _, led := range c.ledgers {
 			_ = led.Close()
 		}
@@ -196,21 +293,88 @@ func (c *Cluster) Node(id types.NodeID) *core.Node { return c.nodes[id] }
 // Store returns a replica's kvstore (nil without WithStores).
 func (c *Cluster) Store(id types.NodeID) *kvstore.Store { return c.stores[id] }
 
-// Conditions exposes the network fault-injection surface.
-func (c *Cluster) Conditions() *network.Conditions { return c.sw.Conditions() }
+// Conditions exposes the network fault-injection surface: one shared
+// condition model, whichever backend carries the messages.
+func (c *Cluster) Conditions() *network.Conditions { return c.cond }
 
-// NetworkStats reports switch-wide message counters.
-func (c *Cluster) NetworkStats() (msgs, bytes, dropped uint64) { return c.sw.Stats() }
+// Crash silences a replica in the condition model; on the TCP backend
+// it additionally tears down the node's live sockets, so peers observe
+// real connection resets and their reconnect paths run. The harness
+// compiles CrashAt events onto this.
+func (c *Cluster) Crash(id types.NodeID) {
+	c.cond.Crash(id)
+	if t, ok := c.tcps[id]; ok {
+		t.ResetPeerConns()
+	}
+}
+
+// Restart lifts a crash; torn-down TCP connections re-dial lazily on
+// the next send in either direction.
+func (c *Cluster) Restart(id types.NodeID) { c.cond.Restart(id) }
+
+// NetworkStats reports deployment-wide message counters: the switch's
+// own on the switch backend, the sum over every endpoint (replicas and
+// clients) on TCP.
+func (c *Cluster) NetworkStats() (msgs, bytes, dropped uint64) {
+	if c.sw != nil {
+		return c.sw.Stats()
+	}
+	s := c.TransportStats()
+	return s.Msgs, s.Bytes, s.Dropped
+}
+
+// TransportStats sums the per-endpoint transport counters of a TCP
+// deployment, including connection churn (dials, redials, accepts).
+// Zero-valued on the switch backend, whose switch-wide counters
+// NetworkStats reports.
+func (c *Cluster) TransportStats() network.TransportStats {
+	var agg network.TransportStats
+	for _, sh := range c.shims {
+		agg.Add(sh.Stats())
+	}
+	for _, sh := range c.cliShims {
+		agg.Add(sh.Stats())
+	}
+	return agg
+}
 
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() config.Config { return c.cfg }
 
-// NewClient attaches a benchmark client to the switch.
+// NewClient attaches a benchmark client to the deployment: a switch
+// endpoint, or — on TCP — its own loopback listener, with every
+// replica taught the client's reply address. Either way the endpoint
+// goes through the condition model, so partitions and crashes govern
+// client traffic exactly as they do replica traffic.
 func (c *Cluster) NewClient() (*client.Client, error) {
 	c.nextCli++
-	ep, err := c.sw.JoinClient(types.NodeID(clientIDBase + c.nextCli))
-	if err != nil {
-		return nil, err
+	id := types.NodeID(clientIDBase + c.nextCli)
+	var ep network.Transport
+	if c.sw != nil {
+		e, err := c.sw.JoinClient(id)
+		if err != nil {
+			return nil, err
+		}
+		ep = e
+	} else {
+		addrs := make(map[types.NodeID]string, c.cfg.N+1)
+		addrs[id] = "127.0.0.1:0"
+		for rid, tr := range c.tcps {
+			addrs[rid] = tr.Addr()
+		}
+		tr, err := network.NewTCP(id, addrs)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: client endpoint: %w", err)
+		}
+		// Replicas reply over the client's own listener; clients are
+		// learned via SetPeerAddr, so they stay out of the replicas'
+		// broadcast domain.
+		for _, rt := range c.tcps {
+			rt.SetPeerAddr(id, tr.Addr())
+		}
+		sh := network.Condition(tr, c.cond, nil)
+		c.cliShims = append(c.cliShims, sh)
+		ep = sh
 	}
 	cl := client.New(ep, c.cfg.N, c.cfg.PayloadSize, c.cfg.Seed+int64(c.nextCli))
 	c.clients = append(c.clients, cl)

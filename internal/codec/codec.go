@@ -2,16 +2,37 @@
 // It wraps encoding/gob with explicit type registration so any message
 // defined in internal/types can travel as an interface value, mirroring
 // the Paxi-style message-passing layer the paper's framework reuses.
+//
+// Each envelope is written as one length-prefixed frame (uvarint size,
+// then the gob bytes). The prefix lets both ends enforce MaxFrame
+// before allocating: a corrupted or hostile length cannot make the
+// reader commit gigabytes of memory, and an accidentally huge message
+// fails loudly at the sender instead of stalling a peer's socket.
 package codec
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
+
+// MaxFrame bounds one encoded envelope. The largest legitimate
+// messages are state-sync batches (a keep window of full blocks);
+// 16 MiB leaves an order of magnitude of headroom over those.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a frame above MaxFrame, on either end.
+// After it the gob stream is unusable (its type dictionary may have
+// advanced past what the peer saw), so callers must discard the
+// connection, not just the message.
+var ErrFrameTooLarge = errors.New("codec: frame exceeds MaxFrame")
 
 // Envelope frames a message with its sender for transports that
 // multiplex many logical links over one connection.
@@ -43,27 +64,63 @@ func registerTypes() {
 	})
 }
 
-// Encoder writes envelopes to a stream. It is not safe for concurrent
-// use; guard it with the connection's write lock.
+// Encoder writes envelopes to a stream as length-prefixed frames. It
+// is not safe for concurrent use; guard it with the connection's write
+// lock.
 type Encoder struct {
+	w   *bufio.Writer
+	buf bytes.Buffer
 	enc *gob.Encoder
+	hdr [binary.MaxVarintLen64]byte
 }
 
 // NewEncoder returns an Encoder writing to w.
 func NewEncoder(w io.Writer) *Encoder {
 	registerTypes()
-	return &Encoder{enc: gob.NewEncoder(w)}
+	e := &Encoder{w: bufio.NewWriter(w)}
+	e.enc = gob.NewEncoder(&e.buf)
+	return e
 }
 
-// Encode writes one envelope.
-func (e *Encoder) Encode(env Envelope) error {
+// Encode writes one envelope and returns the number of bytes that hit
+// the stream. A message gob-encoding above MaxFrame returns
+// ErrFrameTooLarge without writing anything — but the encoder's gob
+// type dictionary may have advanced, so the connection must be
+// discarded along with the message.
+func (e *Encoder) Encode(env Envelope) (int, error) {
+	e.buf.Reset()
 	if err := e.enc.Encode(&env); err != nil {
-		return fmt.Errorf("codec: encode: %w", err)
+		return 0, fmt.Errorf("codec: encode: %w", err)
 	}
-	return nil
+	if e.buf.Len() > MaxFrame {
+		return 0, fmt.Errorf("codec: %d-byte message: %w", e.buf.Len(), ErrFrameTooLarge)
+	}
+	n := binary.PutUvarint(e.hdr[:], uint64(e.buf.Len()))
+	if _, err := e.w.Write(e.hdr[:n]); err != nil {
+		return 0, fmt.Errorf("codec: write frame header: %w", err)
+	}
+	if _, err := e.w.Write(e.buf.Bytes()); err != nil {
+		return 0, fmt.Errorf("codec: write frame: %w", err)
+	}
+	if err := e.w.Flush(); err != nil {
+		return 0, fmt.Errorf("codec: flush frame: %w", err)
+	}
+	written := n + e.buf.Len()
+	if e.buf.Cap() > shrinkCap {
+		// One multi-MiB frame (a deep state-sync batch) must not pin
+		// its high-water capacity on this connection forever.
+		// Assigning through the same address keeps the gob encoder's
+		// *bytes.Buffer valid while releasing the backing array.
+		e.buf = bytes.Buffer{}
+	}
+	return written, nil
 }
 
-// Decoder reads envelopes from a stream.
+// shrinkCap is the staging-buffer capacity above which Encode releases
+// the backing array after the frame is written.
+const shrinkCap = 1 << 20
+
+// Decoder reads envelopes from a stream of length-prefixed frames.
 type Decoder struct {
 	dec *gob.Decoder
 }
@@ -71,7 +128,7 @@ type Decoder struct {
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
 	registerTypes()
-	return &Decoder{dec: gob.NewDecoder(r)}
+	return &Decoder{dec: gob.NewDecoder(newFrameReader(r))}
 }
 
 // Decode reads one envelope. It returns io.EOF unchanged when the
@@ -85,4 +142,40 @@ func (d *Decoder) Decode() (Envelope, error) {
 		return env, fmt.Errorf("codec: decode: %w", err)
 	}
 	return env, nil
+}
+
+// frameReader strips the length prefixes, presenting the concatenated
+// frame payloads as one plain stream (exactly the bytes the sender's
+// gob encoder produced) while enforcing MaxFrame per frame before any
+// payload is read.
+type frameReader struct {
+	r         *bufio.Reader
+	remaining int64
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &frameReader{r: br}
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	for f.remaining == 0 {
+		size, err := binary.ReadUvarint(f.r)
+		if err != nil {
+			return 0, err
+		}
+		if size > MaxFrame {
+			return 0, fmt.Errorf("codec: %d-byte frame announced: %w", size, ErrFrameTooLarge)
+		}
+		f.remaining = int64(size)
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= int64(n)
+	return n, err
 }

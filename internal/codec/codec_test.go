@@ -2,6 +2,8 @@ package codec
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"reflect"
 	"testing"
@@ -13,7 +15,7 @@ import (
 func roundTrip(t *testing.T, msg any) any {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := NewEncoder(&buf).Encode(Envelope{From: 3, Msg: msg}); err != nil {
+	if _, err := NewEncoder(&buf).Encode(Envelope{From: 3, Msg: msg}); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
 	env, err := NewDecoder(&buf).Decode()
@@ -117,7 +119,7 @@ func TestStreamOfMessages(t *testing.T) {
 	const count = 100
 	for i := 0; i < count; i++ {
 		msg := types.VoteMsg{Vote: &types.Vote{View: types.View(i), Voter: 1}}
-		if err := enc.Encode(Envelope{From: 1, Msg: msg}); err != nil {
+		if _, err := enc.Encode(Envelope{From: 1, Msg: msg}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -151,7 +153,7 @@ func TestRequestRoundTripQuick(t *testing.T) {
 			ID: types.TxID{Client: client, Seq: seq}, Command: cmd, SubmitUnixNano: ts,
 		}}
 		var buf bytes.Buffer
-		if err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg}); err != nil {
+		if _, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg}); err != nil {
 			return false
 		}
 		env, err := NewDecoder(&buf).Decode()
@@ -173,6 +175,66 @@ func TestRequestRoundTripQuick(t *testing.T) {
 	}
 }
 
+// TestEncodeRejectsOversizedMessage: a message whose gob form exceeds
+// MaxFrame must fail at the sender with ErrFrameTooLarge and write
+// nothing to the stream — the receiver never sees a byte of it.
+func TestEncodeRejectsOversizedMessage(t *testing.T) {
+	var buf bytes.Buffer
+	huge := types.RequestMsg{Tx: types.Transaction{
+		ID: types.TxID{Client: 1, Seq: 1}, Command: make([]byte, MaxFrame+1),
+	}}
+	_, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: huge})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized frame leaked %d bytes onto the stream", buf.Len())
+	}
+}
+
+// TestDecodeRejectsOversizedFrame: a header announcing more than
+// MaxFrame must fail before any payload allocation, so a corrupted or
+// hostile length prefix cannot commit the reader to gigabytes.
+func TestDecodeRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(hdr, uint64(MaxFrame)+1)
+	buf.Write(hdr[:n])
+	buf.WriteString("payload that must never be read")
+	_, err := NewDecoder(&buf).Decode()
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// TestLargeLegalMessageRoundTrips: framing must not get in the way of
+// big-but-legitimate messages (a full sync batch is megabytes).
+func TestLargeLegalMessageRoundTrips(t *testing.T) {
+	payload := make([]byte, 4<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	msg := types.RequestMsg{Tx: types.Transaction{
+		ID: types.TxID{Client: 1, Seq: 1}, Command: payload,
+	}}
+	var buf bytes.Buffer
+	n, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("Encode reported %d bytes, stream holds %d", n, buf.Len())
+	}
+	env, err := NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := env.Msg.(types.RequestMsg)
+	if !ok || !bytes.Equal(got.Tx.Command, payload) {
+		t.Fatal("large payload mangled across the wire")
+	}
+}
+
 func BenchmarkEncodeProposal400(b *testing.B) {
 	payload := make([]types.Transaction, 400)
 	for i := range payload {
@@ -185,7 +247,7 @@ func BenchmarkEncodeProposal400(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
-		if err := enc.Encode(Envelope{From: 1, Msg: types.ProposalMsg{Block: block}}); err != nil {
+		if _, err := enc.Encode(Envelope{From: 1, Msg: types.ProposalMsg{Block: block}}); err != nil {
 			b.Fatal(err)
 		}
 	}

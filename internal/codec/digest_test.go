@@ -31,7 +31,7 @@ func TestDigestProposalRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := NewEncoder(&buf).Encode(Envelope{From: 2, Msg: msg}); err != nil {
+	if _, err := NewEncoder(&buf).Encode(Envelope{From: 2, Msg: msg}); err != nil {
 		t.Fatal(err)
 	}
 	env, err := NewDecoder(&buf).Decode()
@@ -69,7 +69,7 @@ func TestPayloadBatchRoundTrip(t *testing.T) {
 		{ID: types.TxID{Client: 1, Seq: 2}, Command: []byte("bb")},
 	}}
 	var buf bytes.Buffer
-	if err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg}); err != nil {
+	if _, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg}); err != nil {
 		t.Fatal(err)
 	}
 	env, err := NewDecoder(&buf).Decode()

@@ -229,6 +229,12 @@ func (n *Node) Tracker() *metrics.ChainTracker { return n.tracker }
 // queue wait, apply lag, and the digest/batch fast-path counters.
 func (n *Node) Pipeline() *metrics.PipelineTracker { return n.pipeline }
 
+// Transport exposes the replica's network endpoint, so operational
+// surfaces (the HTTP API's /status) can report transport-level stats
+// when the endpoint keeps them (the TCP transport and the conditioned
+// shim do; switch endpoints defer to switch-wide counters).
+func (n *Node) Transport() network.Transport { return n.net }
+
 // Violations returns how many commit-safety violations the forest
 // reported; correct runs keep this at zero.
 func (n *Node) Violations() uint64 { return n.violations.Load() }

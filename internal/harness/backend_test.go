@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// backendExperiment is the acceptance scenario of the TCP harness
+// backend: one declared experiment whose schedule exercises partition,
+// heal, crash, and restart — it must run to a consistent, recovered
+// Result on both transports.
+func backendExperiment(backend string) Experiment {
+	cfg := config.Default()
+	cfg.Protocol = config.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 50
+	cfg.MemSize = 1 << 14
+	cfg.Timeout = 100 * time.Millisecond
+	return Experiment{
+		Name:    "backend-parity",
+		Backend: backend,
+		Config:  cfg,
+		Faults: FaultSchedule{
+			// A minority partition (3 of 4 keep quorum), then a crash
+			// of a different replica after the heal.
+			PartitionAt(250*time.Millisecond, map[types.NodeID]int{1: 1}),
+			HealAt(650 * time.Millisecond),
+			CrashAt(900*time.Millisecond, 2),
+			RestartAt(1250*time.Millisecond, 2),
+		},
+		Measure: MeasurePlan{
+			Warmup:       150 * time.Millisecond,
+			Window:       1800 * time.Millisecond,
+			Concurrency:  6,
+			PerOpTimeout: 400 * time.Millisecond,
+		},
+	}
+}
+
+// TestSameScenarioBothBackends is the acceptance bar of the TCP
+// backend: byte-identical fault semantics and measurement across
+// transports, proven by the same declared Experiment (partition/heal
+// plus crash/restart) finishing Consistent and Recovered on each.
+func TestSameScenarioBothBackends(t *testing.T) {
+	for _, backend := range []string{BackendSwitch, BackendTCP} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			res, err := Run(backendExperiment(backend))
+			if err != nil {
+				t.Fatalf("run: %v (result error %q)", err, res.Error)
+			}
+			if res.Backend != backend {
+				t.Fatalf("result backend %q, want %q", res.Backend, backend)
+			}
+			if !res.Consistent || res.Violations != 0 {
+				t.Fatalf("consistency lost: consistent=%v violations=%d", res.Consistent, res.Violations)
+			}
+			if !res.Recovered {
+				t.Fatalf("replicas did not reconverge: heights %v", res.Heights)
+			}
+			if len(res.Points) != 1 || res.Points[0].Throughput <= 0 {
+				t.Fatalf("no committed throughput measured: %+v", res.Points)
+			}
+			if backend == BackendTCP {
+				if res.Network.Dials == 0 {
+					t.Fatalf("TCP run reports no dials: %+v", res.Network)
+				}
+				if res.Network.Redials == 0 {
+					t.Fatalf("crash teardown must force redials: %+v", res.Network)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadExperimentDefaultsAndValidation: a scenario file states only
+// what it changes (config defaults fill the rest), takes its name from
+// the file when unnamed, and malformed files fail loudly.
+func TestLoadExperimentDefaultsAndValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	exp, err := LoadExperiment(write("nightly.json", `{
+		"config": {"n": 5, "protocol": "hotstuff"},
+		"faults": [{"at": 1000000, "kind": "crash", "nodes": [2]}],
+		"measure": {"window": 1000000000}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Name != "nightly" {
+		t.Fatalf("unnamed scenario should take the file name, got %q", exp.Name)
+	}
+	if exp.Config.N != 5 || exp.Config.Timeout != config.Default().Timeout {
+		t.Fatalf("defaults not applied over the file: %+v", exp.Config)
+	}
+
+	cases := map[string]string{
+		"unknown-field": `{"config": {"n": 4, "protocol": "hotstuff"}, "windwo": 5}`,
+		"bad-backend":   `{"backend": "udp", "config": {"n": 4, "protocol": "hotstuff"}}`,
+		"bad-config":    `{"config": {"n": 2, "protocol": "hotstuff"}}`,
+		"bad-fault":     `{"config": {"n": 4, "protocol": "hotstuff"}, "faults": [{"at": 1, "kind": "crash"}]}`,
+		"trailing":      `{"config": {"n": 4, "protocol": "hotstuff"}} {"again": true}`,
+		"not-json":      `scenario?`,
+	}
+	for name, body := range cases {
+		if _, err := LoadExperiment(write(name+".json", body)); err == nil {
+			t.Errorf("%s: malformed scenario accepted", name)
+		}
+	}
+	if _, err := LoadExperiment(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestCommittedScenarioStaysValid guards the repository's example
+// scenario — the input of the tcp-smoke CI gate: if a refactor breaks
+// its schema, this fails before CI burns a full run on it.
+func TestCommittedScenarioStaysValid(t *testing.T) {
+	exp, err := LoadExperiment(filepath.Join("..", "..", "examples", "scenarios", "partition-heal.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Name != "partition-heal" {
+		t.Fatalf("unexpected scenario name %q", exp.Name)
+	}
+	// The CI gate's value hangs on the schedule actually exercising
+	// partition/heal and crash/restart; keep the file honest.
+	kinds := map[string]bool{}
+	for _, ev := range exp.Faults {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{FaultPartition, FaultHeal, FaultCrash, FaultRestart} {
+		if !kinds[want] {
+			t.Fatalf("committed scenario lost its %s event", want)
+		}
+	}
+}

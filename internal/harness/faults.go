@@ -134,8 +134,30 @@ func (s FaultSchedule) Validate() error {
 	return nil
 }
 
-// apply compiles one event onto the condition model at fire time.
-func (ev FaultEvent) apply(cond *network.Conditions) {
+// FaultTarget is the deployment surface a schedule fires against.
+// Partition, delay, drop, and fluctuation events land on the shared
+// condition model; crash and restart go through the target so a
+// backend can give them transport-level consequences too (the TCP
+// cluster tears down the crashed node's sockets). cluster.Cluster
+// implements it.
+type FaultTarget interface {
+	Conditions() *network.Conditions
+	Crash(types.NodeID)
+	Restart(types.NodeID)
+}
+
+// conditionsTarget adapts a bare condition model — crash and restart
+// have no transport to touch. Tests (and any condition-only caller)
+// use it.
+type conditionsTarget struct{ cond *network.Conditions }
+
+func (t conditionsTarget) Conditions() *network.Conditions { return t.cond }
+func (t conditionsTarget) Crash(id types.NodeID)           { t.cond.Crash(id) }
+func (t conditionsTarget) Restart(id types.NodeID)         { t.cond.Restart(id) }
+
+// apply compiles one event onto the target at fire time.
+func (ev FaultEvent) apply(target FaultTarget) {
+	cond := target.Conditions()
 	switch ev.Kind {
 	case FaultPartition:
 		cond.Partition(ev.Groups)
@@ -143,11 +165,11 @@ func (ev FaultEvent) apply(cond *network.Conditions) {
 		cond.Heal()
 	case FaultCrash:
 		for _, id := range ev.Nodes {
-			cond.Crash(id)
+			target.Crash(id)
 		}
 	case FaultRestart:
 		for _, id := range ev.Nodes {
-			cond.Restart(id)
+			target.Restart(id)
 		}
 	case FaultFluctuate:
 		cond.Fluctuate(time.Now(), ev.Dur, ev.Min, ev.Max)
@@ -160,10 +182,10 @@ func (ev FaultEvent) apply(cond *network.Conditions) {
 	}
 }
 
-// run fires the schedule against the condition model from start, in
-// At order, until done or stop closes. onFire, when non-nil, observes
-// each event as it is applied (tests hook it).
-func (s FaultSchedule) run(cond *network.Conditions, start time.Time,
+// run fires the schedule against the target from start, in At order,
+// until done or stop closes. onFire, when non-nil, observes each
+// event as it is applied (tests hook it).
+func (s FaultSchedule) run(target FaultTarget, start time.Time,
 	stop <-chan struct{}, onFire func(FaultEvent)) {
 
 	ordered := make(FaultSchedule, len(s))
@@ -187,7 +209,7 @@ func (s FaultSchedule) run(cond *network.Conditions, start time.Time,
 			case <-timer.C:
 			}
 		}
-		ev.apply(cond)
+		ev.apply(target)
 		if onFire != nil {
 			onFire(ev)
 		}

@@ -23,7 +23,7 @@ func TestScheduleFiresInDeclaredOrder(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sched.run(cond, time.Now(), nil, func(ev FaultEvent) {
+		sched.run(conditionsTarget{cond}, time.Now(), nil, func(ev FaultEvent) {
 			fired = append(fired, ev.Kind)
 		})
 	}()
@@ -57,7 +57,7 @@ func TestScheduleTieBreaksByDeclaration(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sched.run(cond, time.Now(), nil, nil)
+		sched.run(conditionsTarget{cond}, time.Now(), nil, nil)
 	}()
 	<-done
 	if cond.IsCrashed(4) {
@@ -73,7 +73,7 @@ func TestScheduleStops(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sched.run(cond, time.Now(), stop, nil)
+		sched.run(conditionsTarget{cond}, time.Now(), stop, nil)
 	}()
 	close(stop)
 	select {

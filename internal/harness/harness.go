@@ -24,6 +24,12 @@ const (
 	ElectionHashed     = "hashed"
 )
 
+// Backend names accepted by Experiment.Backend.
+const (
+	BackendSwitch = cluster.BackendSwitch
+	BackendTCP    = cluster.BackendTCP
+)
+
 // Experiment declares one complete scenario.
 type Experiment struct {
 	// Name labels the experiment in results and reports.
@@ -43,6 +49,14 @@ type Experiment struct {
 	// configuration's default, "hashed" uses hash-based pseudo-random
 	// election (the Section V-E design choice).
 	Election string `json:"election,omitempty"`
+	// Backend selects the transport the scenario deploys over: "" or
+	// "switch" for the in-process channel switch, "tcp" for one real
+	// loopback listener per replica. The fault schedule means the same
+	// thing on both — partitions, delays, and drops go through one
+	// shared condition model, crashes additionally tear down the TCP
+	// node's sockets — so the same declared experiment yields
+	// comparable Results on either.
+	Backend string `json:"backend,omitempty"`
 	// LedgerDir, when set, gives every replica a persistent ledger
 	// file of its committed chain under this directory. When empty,
 	// replicas get ledgers in a temporary directory removed at
@@ -118,11 +132,20 @@ type Point struct {
 	Pipeline metrics.PipelineStats `json:"pipeline"`
 }
 
-// NetworkStats are the switch-wide message counters of a whole run.
+// NetworkStats are the deployment-wide message counters of a whole
+// run: switch counters on the switch backend, per-endpoint transport
+// sums on TCP. The connection-churn fields are TCP-only (zero, and
+// omitted from JSON, in simulation).
 type NetworkStats struct {
 	Msgs    uint64 `json:"msgs"`
 	Bytes   uint64 `json:"bytes"`
 	Dropped uint64 `json:"dropped"`
+	// Dials counts outbound connections; Redials the subset replacing
+	// an earlier connection to the same peer (reconnects after
+	// crash-driven resets); Accepted the inbound connections.
+	Dials    uint64 `json:"dials,omitempty"`
+	Redials  uint64 `json:"redials,omitempty"`
+	Accepted uint64 `json:"accepted,omitempty"`
 }
 
 // Result is the structured outcome of one experiment. It marshals to
@@ -131,6 +154,10 @@ type NetworkStats struct {
 type Result struct {
 	// Name echoes the experiment label.
 	Name string `json:"name,omitempty"`
+	// Backend records the transport the run deployed over ("switch"
+	// or "tcp"), so result files from the two paths stay
+	// distinguishable when compared.
+	Backend string `json:"backend,omitempty"`
 	// Config, Workload, Faults, and Measure echo the declared
 	// scenario, so a result file is self-describing and the run it
 	// records can be reconstructed from it.
@@ -202,6 +229,11 @@ func (e *Experiment) Validate() error {
 	default:
 		return fmt.Errorf("harness: unknown election mode %q", e.Election)
 	}
+	switch e.Backend {
+	case "", BackendSwitch, BackendTCP:
+	default:
+		return fmt.Errorf("harness: unknown backend %q", e.Backend)
+	}
 	for i, lvl := range e.Measure.Levels {
 		if lvl <= 0 {
 			return fmt.Errorf("harness: level %d must be positive, have %d", i, lvl)
@@ -226,8 +258,13 @@ func Run(exp Experiment) (*Result, error) {
 	// Consistent stays false until every level has passed its
 	// cross-replica consistency check: an errored or never-run
 	// experiment must not serialize as a verified-consistent one.
+	backend := exp.Backend
+	if backend == "" {
+		backend = BackendSwitch
+	}
 	res := &Result{
 		Name:     exp.Name,
+		Backend:  backend,
 		Config:   exp.Config,
 		Workload: exp.Workload,
 		Faults:   exp.Faults,
@@ -292,6 +329,7 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	var p Point
 	cfg := exp.Config
 	opts := cluster.Options{
+		Backend:       exp.Backend,
 		WithStores:    exp.Measure.WithStores || exp.Workload.Stores(),
 		LedgerDir:     exp.LedgerDir,
 		DisableLedger: exp.DisableLedger,
@@ -320,11 +358,12 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	c.Start()
 
 	// The fault scheduler compiles the declared timeline onto the
-	// network condition model.
+	// cluster: condition-model changes on both backends, plus real
+	// socket teardown for crashes over TCP.
 	stop := make(chan struct{})
 	defer close(stop)
 	if len(exp.Faults) > 0 {
-		go exp.Faults.run(c.Conditions(), epoch, stop, nil)
+		go exp.Faults.run(c, epoch, stop, nil)
 	}
 
 	cl, err := c.NewClient()
@@ -374,7 +413,11 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	res.Chain = chain
 	res.Pipeline = p.Pipeline
 	msgs, bytes, dropped := c.NetworkStats()
-	res.Network = NetworkStats{Msgs: msgs, Bytes: bytes, Dropped: dropped}
+	ts := c.TransportStats()
+	res.Network = NetworkStats{
+		Msgs: msgs, Bytes: bytes, Dropped: dropped,
+		Dials: ts.Dials, Redials: ts.Redials, Accepted: ts.Accepted,
+	}
 	res.Heights, res.Recovered = recoveryVerdict(c, cfg)
 	if series != nil {
 		res.Series = series.Rates()

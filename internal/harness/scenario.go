@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+)
+
+// LoadExperiment reads one declared scenario from a JSON file — the
+// `bamboo-bench -run scenario.json` path, where a scenario is a
+// committed artifact rather than a Go literal. The configuration
+// section starts from config.Default() (like a bamboo-server config
+// file), so a scenario only states what it changes; unknown fields are
+// rejected, because a typo'd knob silently falling back to a default
+// would run "green" while measuring the wrong thing. Both the
+// experiment and its configuration are validated before anything runs.
+func LoadExperiment(path string) (Experiment, error) {
+	exp := Experiment{Config: config.Default()}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return exp, fmt.Errorf("harness: scenario: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&exp); err != nil {
+		return exp, fmt.Errorf("harness: scenario %s: %w", path, err)
+	}
+	if dec.More() {
+		return exp, fmt.Errorf("harness: scenario %s: trailing data after the experiment object", path)
+	}
+	// Mirror config.Load: an address map fixes the replica count.
+	if len(exp.Config.Addrs) > 0 {
+		exp.Config.N = len(exp.Config.Addrs)
+	}
+	if exp.Name == "" {
+		exp.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	if err := exp.Config.Validate(); err != nil {
+		return exp, fmt.Errorf("harness: scenario %s: %w", path, err)
+	}
+	if err := exp.Validate(); err != nil {
+		return exp, fmt.Errorf("harness: scenario %s: %w", path, err)
+	}
+	return exp, nil
+}

@@ -8,9 +8,10 @@
 //	POST /tx      submit a transaction; the response returns when the
 //	              transaction commits (or the request times out).
 //	GET  /status  replica snapshot: current view, committed height,
-//	              state-sync progress (Syncing/SyncApplied), plus the
+//	              state-sync progress (Syncing/SyncApplied), the
 //	              per-stage pipeline latencies (verify-queue wait,
-//	              apply lag).
+//	              apply lag), and — on TCP deployments — the
+//	              endpoint's transport counters (msgs, bytes, dials).
 //	GET  /hash    committed block hash at ?height=N (consistency check).
 //	GET  /metrics chain micro-metrics (CGR, BI, committed counts) plus
 //	              the pipeline stage counters under "pipeline".
@@ -26,6 +27,7 @@ import (
 
 	"github.com/bamboo-bft/bamboo/internal/core"
 	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -146,20 +148,29 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 // state-sync progress fields) with the pipeline's per-stage latencies,
 // so operators can see at a glance whether the verification pool or
 // the commit-apply stage is the bottleneck — or whether the replica is
-// still streaming catch-up batches.
+// still streaming catch-up batches. On transports that keep their own
+// counters (TCP deployments), Transport reports the endpoint's
+// traffic and connection churn; it is omitted on the in-process
+// switch, whose counters are deployment-wide.
 type statusResponse struct {
 	core.Status
-	VerifyQueueWait metrics.LatencySummary `json:"verifyQueueWait"`
-	ApplyLag        metrics.LatencySummary `json:"applyLag"`
+	VerifyQueueWait metrics.LatencySummary  `json:"verifyQueueWait"`
+	ApplyLag        metrics.LatencySummary  `json:"applyLag"`
+	Transport       *network.TransportStats `json:"transport,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	p := s.node.Pipeline().Snapshot()
-	writeJSON(w, statusResponse{
+	resp := statusResponse{
 		Status:          s.node.Status(),
 		VerifyQueueWait: p.VerifyQueueWait,
 		ApplyLag:        p.ApplyLag,
-	})
+	}
+	if st, ok := s.node.Transport().(interface{ Stats() network.TransportStats }); ok {
+		stats := st.Stats()
+		resp.Transport = &stats
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {

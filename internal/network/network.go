@@ -40,6 +40,36 @@ type Sizer interface {
 	Size() int
 }
 
+// TransportStats counts one endpoint's traffic. The TCP transport and
+// the Conditioned shim implement `Stats() TransportStats`; the switch
+// keeps switch-wide counters instead (Switch.Stats). Msgs and Bytes
+// count successfully written messages (actual framed wire bytes on
+// TCP); Dropped counts messages lost to full queues, failed dials,
+// write errors, or — through the shim — network conditions.
+type TransportStats struct {
+	Msgs    uint64 `json:"msgs"`
+	Bytes   uint64 `json:"bytes"`
+	Dropped uint64 `json:"dropped"`
+	// Dials counts successful outbound connections; Redials the subset
+	// that replaced an earlier connection to the same peer (reconnect
+	// traffic after restarts and resets). Accepted counts inbound
+	// connections.
+	Dials    uint64 `json:"dials,omitempty"`
+	Redials  uint64 `json:"redials,omitempty"`
+	Accepted uint64 `json:"accepted,omitempty"`
+}
+
+// Add accumulates other's counters — aggregation across a deployment's
+// endpoints.
+func (s *TransportStats) Add(other TransportStats) {
+	s.Msgs += other.Msgs
+	s.Bytes += other.Bytes
+	s.Dropped += other.Dropped
+	s.Dials += other.Dials
+	s.Redials += other.Redials
+	s.Accepted += other.Accepted
+}
+
 // messageSize estimates the wire size of a message for bandwidth
 // modelling. Votes/timeouts are small and fixed; proposals implement
 // Sizer through their block.

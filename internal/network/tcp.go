@@ -1,11 +1,15 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/codec"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -15,49 +19,96 @@ import (
 // a dropped message is just a retransmit).
 const outboundDepth = 1 << 12
 
+// dialTimeout bounds one connection attempt; dialCooldown is how long
+// a peer's writer drops messages after a failed attempt before dialing
+// again, so a dead peer costs one SYN per cooldown instead of one per
+// queued message.
+const (
+	dialTimeout  = time.Second
+	dialCooldown = 50 * time.Millisecond
+)
+
 // TCP is a Transport connecting replicas over persistent TCP
-// connections with gob framing — the deployment path for multi-machine
-// experiments. Artificial network conditions are not applied here; the
-// in-process Switch is the instrument for controlled-delay studies,
-// while TCP observes the real network.
+// connections with length-prefixed gob framing — the deployment path
+// for multi-machine experiments. It carries no condition model itself:
+// wrap it in Condition to give a scheduled scenario's partitions,
+// delays, and drops the same meaning they have on the in-process
+// switch, or use it bare to observe the real network.
 type TCP struct {
 	self     types.NodeID
 	listener net.Listener
 	inbox    chan Envelope
 	done     chan struct{}
 	wg       sync.WaitGroup
+	// ctx cancels in-flight dials at Close, so shutdown never waits
+	// out a connection attempt to a dead peer.
+	ctx       context.Context
+	cancel    context.CancelFunc
+	closeOnce sync.Once
+	closeErr  error
 
 	mu    sync.Mutex
 	addrs map[types.NodeID]string
 	peers map[types.NodeID]*tcpPeer
+	// conns tracks every live connection (accepted and dialed), so
+	// Close and ResetPeerConns can unblock goroutines parked in reads
+	// and writes by closing the sockets under them.
+	conns map[net.Conn]struct{}
+	// replicas is the broadcast domain, fixed at construction from the
+	// address map's keys; addresses learned later through SetPeerAddr
+	// (clients, in harness deployments) are dialable but not
+	// broadcast targets, mirroring the switch's replica/client split.
+	replicas []types.NodeID
+
+	msgs    metrics.Counter
+	bytes   metrics.Counter
+	dropped metrics.Counter
+	dials   metrics.Counter
+	redials metrics.Counter
+	accepts metrics.Counter
 }
 
 type tcpPeer struct {
 	outbound chan any
+	// reset asks the writer to tear down its connection and re-dial on
+	// the next message (crash faults, address changes).
+	reset chan struct{}
+	// dialed is writer-local state: a first dial has succeeded, so any
+	// further dial counts as a redial.
+	dialed bool
 }
 
 // NewTCP starts listening on addrs[self] and returns the transport.
-// Peer connections are dialed lazily by per-peer writer goroutines.
+// The map's keys fix the broadcast domain; a peer's value may be left
+// empty when its address is only known later (ephemeral ":0" ports),
+// to be filled in with SetPeerAddr before traffic flows. Peer
+// connections are dialed lazily by per-peer writer goroutines.
 func NewTCP(self types.NodeID, addrs map[types.NodeID]string) (*TCP, error) {
 	addr, ok := addrs[self]
-	if !ok {
-		return nil, fmt.Errorf("network: no address for self %s", self)
+	if !ok || addr == "" {
+		return nil, fmt.Errorf("network: no listen address for self %s", self)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	t := &TCP{
 		self:     self,
 		addrs:    make(map[types.NodeID]string, len(addrs)),
 		listener: ln,
 		inbox:    make(chan Envelope, inboxCapacity),
 		done:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
 		peers:    make(map[types.NodeID]*tcpPeer),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	for id, a := range addrs {
 		t.addrs[id] = a
+		t.replicas = append(t.replicas, id)
 	}
+	sort.Slice(t.replicas, func(i, j int) bool { return t.replicas[i] < t.replicas[j] })
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -68,7 +119,8 @@ func (t *TCP) Addr() string { return t.listener.Addr().String() }
 
 // SetPeerAddr updates a peer's dial address — used with ephemeral
 // listen ports, where addresses are only known after every transport
-// has bound. The peer's writer re-dials on its next send.
+// has bound, and to teach replicas where a late-joining client
+// listens. The peer's writer (re)dials on its next send.
 func (t *TCP) SetPeerAddr(id types.NodeID, addr string) {
 	t.mu.Lock()
 	t.addrs[id] = addr
@@ -80,6 +132,39 @@ func (t *TCP) peerAddr(id types.NodeID) (string, bool) {
 	defer t.mu.Unlock()
 	a, ok := t.addrs[id]
 	return a, ok
+}
+
+// track registers a live connection for teardown; it refuses (and the
+// caller must close the conn) once the transport is closing, so no
+// socket can slip past Close.
+func (t *TCP) track(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.done:
+		return false
+	default:
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *TCP) untrack(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+// liveConns snapshots the tracked connections for closing outside the
+// lock.
+func (t *TCP) liveConns() []net.Conn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	return conns
 }
 
 func (t *TCP) acceptLoop() {
@@ -94,6 +179,11 @@ func (t *TCP) acceptLoop() {
 				continue
 			}
 		}
+		if !t.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		t.accepts.Add(1)
 		t.wg.Add(1)
 		go t.readLoop(conn)
 	}
@@ -101,22 +191,17 @@ func (t *TCP) acceptLoop() {
 
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
-	defer func() { _ = conn.Close() }()
-	// Close the connection when the transport shuts down so the
-	// blocking Decode unblocks.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-t.done:
-			_ = conn.Close()
-		case <-stop:
-		}
+	defer func() {
+		t.untrack(conn)
+		_ = conn.Close()
 	}()
 	dec := codec.NewDecoder(conn)
 	for {
 		env, err := dec.Decode()
 		if err != nil {
+			// Clean EOF, reset, or a framing violation (oversized
+			// frame, garbage): either way the stream is dead; the
+			// sender re-dials if it still cares.
 			return
 		}
 		select {
@@ -125,6 +210,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 			return
 		default:
 			// Inbox overflow: drop, like a full socket buffer.
+			t.dropped.Add(1)
 		}
 	}
 }
@@ -143,12 +229,14 @@ func (t *TCP) Send(to types.NodeID, msg any) {
 	}
 	peer := t.getPeer(to)
 	if peer == nil {
+		t.dropped.Add(1)
 		return
 	}
 	select {
 	case peer.outbound <- msg:
 	default:
 		// Peer queue full: drop.
+		t.dropped.Add(1)
 	}
 }
 
@@ -161,7 +249,10 @@ func (t *TCP) getPeer(to types.NodeID) *tcpPeer {
 		if _, known := t.addrs[to]; !known {
 			return nil
 		}
-		peer = &tcpPeer{outbound: make(chan any, outboundDepth)}
+		peer = &tcpPeer{
+			outbound: make(chan any, outboundDepth),
+			reset:    make(chan struct{}, 1),
+		}
 		t.peers[to] = peer
 		t.wg.Add(1)
 		go t.writeLoop(to, peer)
@@ -170,68 +261,146 @@ func (t *TCP) getPeer(to types.NodeID) *tcpPeer {
 }
 
 // writeLoop drains one peer's queue over a lazily (re)dialed
-// connection.
+// connection. Failed dials back off for dialCooldown (dropping queued
+// messages meanwhile) so an unreachable peer is probed at a bounded
+// rate instead of once per message.
 func (t *TCP) writeLoop(to types.NodeID, peer *tcpPeer) {
 	defer t.wg.Done()
 	var conn net.Conn
 	var enc *codec.Encoder
-	defer func() {
+	var retryAt time.Time
+	closeConn := func() {
 		if conn != nil {
+			t.untrack(conn)
 			_ = conn.Close()
+			conn, enc = nil, nil
 		}
-	}()
+	}
+	defer closeConn()
 	for {
 		var msg any
 		select {
 		case <-t.done:
 			return
+		case <-peer.reset:
+			closeConn()
+			continue
 		case msg = <-peer.outbound:
+		}
+		// A reset racing with the message tears the connection down
+		// first; the message then re-dials like any other.
+		select {
+		case <-peer.reset:
+			closeConn()
+		default:
 		}
 		if conn == nil {
 			addr, ok := t.peerAddr(to)
-			if !ok {
+			if !ok || addr == "" {
+				t.dropped.Add(1)
 				continue
 			}
-			c, err := net.Dial("tcp", addr)
-			if err != nil {
-				continue // drop; retry dial on next message
+			if time.Now().Before(retryAt) {
+				t.dropped.Add(1)
+				continue
 			}
+			dctx, cancel := context.WithTimeout(t.ctx, dialTimeout)
+			c, err := (&net.Dialer{}).DialContext(dctx, "tcp", addr)
+			cancel()
+			if err != nil {
+				retryAt = time.Now().Add(dialCooldown)
+				t.dropped.Add(1)
+				continue
+			}
+			if !t.track(c) {
+				_ = c.Close()
+				return
+			}
+			if peer.dialed {
+				t.redials.Add(1)
+			}
+			peer.dialed = true
+			t.dials.Add(1)
 			conn, enc = c, codec.NewEncoder(c)
 		}
-		if err := enc.Encode(codec.Envelope{From: t.self, Msg: msg}); err != nil {
-			_ = conn.Close()
-			conn, enc = nil, nil
+		n, err := enc.Encode(codec.Envelope{From: t.self, Msg: msg})
+		if err != nil {
+			// Write failure or an oversized frame. Either way the gob
+			// stream can no longer be trusted (its type dictionary may
+			// have advanced past what the peer saw), so the connection
+			// goes with the message.
+			t.dropped.Add(1)
+			closeConn()
+			continue
+		}
+		t.msgs.Add(1)
+		t.bytes.Add(uint64(n))
+	}
+}
+
+// Broadcast implements Transport: the message goes to every replica in
+// the construction-time broadcast domain except the sender. Peers
+// learned later via SetPeerAddr (clients) are excluded, like the
+// switch's client endpoints.
+func (t *TCP) Broadcast(msg any) {
+	for _, id := range t.replicas {
+		if id != t.self {
+			t.Send(id, msg)
 		}
 	}
 }
 
-// Broadcast implements Transport.
-func (t *TCP) Broadcast(msg any) {
+// Inbox implements Transport. The channel closes once Close has torn
+// the transport down, so consumers can drain and exit.
+func (t *TCP) Inbox() <-chan Envelope { return t.inbox }
+
+// ResetPeerConns tears down every live connection — writers close
+// theirs and re-dial lazily on their next send; inbound connections
+// die under their readers, and the remote ends re-dial the same way.
+// The harness uses it to give a scheduled crash real socket
+// consequences (peers observe resets and exercise their reconnect
+// paths) instead of only silently eating messages. The listener stays
+// up; the transport remains usable.
+func (t *TCP) ResetPeerConns() {
 	t.mu.Lock()
-	ids := make([]types.NodeID, 0, len(t.addrs))
-	for id := range t.addrs {
-		if id != t.self {
-			ids = append(ids, id)
+	for _, p := range t.peers {
+		select {
+		case p.reset <- struct{}{}:
+		default:
 		}
 	}
 	t.mu.Unlock()
-	for _, id := range ids {
-		t.Send(id, msg)
+	for _, c := range t.liveConns() {
+		_ = c.Close()
 	}
 }
 
-// Inbox implements Transport.
-func (t *TCP) Inbox() <-chan Envelope { return t.inbox }
-
-// Close implements Transport.
-func (t *TCP) Close() error {
-	select {
-	case <-t.done:
-		return nil
-	default:
+// Stats reports this endpoint's traffic counters.
+func (t *TCP) Stats() TransportStats {
+	return TransportStats{
+		Msgs:     t.msgs.Load(),
+		Bytes:    t.bytes.Load(),
+		Dropped:  t.dropped.Load(),
+		Dials:    t.dials.Load(),
+		Redials:  t.redials.Load(),
+		Accepted: t.accepts.Load(),
 	}
-	close(t.done)
-	err := t.listener.Close()
-	t.wg.Wait()
-	return err
+}
+
+// Close implements Transport: it stops the listener, closes every live
+// connection (unblocking parked readers and writers), cancels
+// in-flight dials, waits for all goroutines, and finally closes the
+// inbox so consumers see end-of-stream. Safe to call more than once.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		t.cancel()
+		t.closeErr = t.listener.Close()
+		for _, c := range t.liveConns() {
+			_ = c.Close()
+		}
+		t.wg.Wait()
+		close(t.inbox)
+	})
+	return t.closeErr
 }
