@@ -29,6 +29,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/ledger"
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/protocol"
+	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -45,7 +46,9 @@ func run() error {
 		id         = flag.Uint("id", 0, "this replica's node ID (key into the address map)")
 		httpAddr   = flag.String("http", "", "address for the RESTful client API (empty disables)")
 		ledgerPath = flag.String("ledger", "",
-			"ledger file for the committed chain (default bamboo-replica-<id>.ledger; \"none\" disables persistence and with it deep catch-up serving). A restarted replica rejoining the SAME chain may reuse its file — it will re-persist from where the file ends once catch-up passes that height; a fresh deployment needs a fresh path (blocks from another chain are never served, but they occupy the file)")
+			"ledger file for the committed chain (default bamboo-replica-<id>.ledger; \"none\" disables persistence and with it deep catch-up serving and restart replay). A restarted replica rejoining the SAME chain reuses its file: on startup it replays snapshot + ledger into forest and state machine before joining, then state-syncs only the tail it missed while down. A fresh deployment needs a fresh path (blocks from another chain are never served, but they occupy the file)")
+		snapPath = flag.String("snapshots", "",
+			"snapshot file for periodic state snapshots (default <ledger>.snap; only used with a ledger). Snapshots are taken every snapshotInterval committed heights per the configuration, compact the ledger prefix they cover, serve O(state) catch-up to deeply lagging peers, and seed restart replay")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -83,7 +86,11 @@ func run() error {
 	// Persist the committed chain by default: the ledger is both the
 	// crash-recovery record and what this replica serves deep
 	// catch-up ranges from when a peer falls past the keep window.
+	// The snapshot store rides along: periodic state snapshots
+	// compact the ledger, serve O(state) catch-up, and make restart
+	// replay O(gap) instead of O(chain).
 	var led *ledger.Ledger
+	var snaps *snapshot.Store
 	if *ledgerPath != "none" {
 		path := *ledgerPath
 		if path == "" {
@@ -94,11 +101,22 @@ func run() error {
 			return err
 		}
 		defer func() { _ = led.Close() }()
+		sp := *snapPath
+		if sp == "" {
+			sp = path + ".snap"
+		}
+		snaps, err = snapshot.OpenStore(sp)
+		if err != nil {
+			return err
+		}
 	}
 	store := kvstore.New()
 	node := core.NewNode(self, cfg, factory, transport, scheme, core.Options{
-		Execute: store.Apply,
-		Ledger:  led,
+		Execute:   store.Apply,
+		Ledger:    led,
+		State:     store,
+		Snapshots: snaps,
+		Bootstrap: led != nil,
 		OnViolation: func(err error) {
 			log.Printf("SAFETY VIOLATION: %v", err)
 		},
@@ -120,6 +138,11 @@ func run() error {
 	}
 
 	node.Start()
+	if replayed := node.Pipeline().Snapshot().ReplayedBlocks; replayed > 0 || node.Status().SnapshotHeight > 0 {
+		st := node.Status()
+		log.Printf("bootstrap: restored snapshot height %d, replayed %d ledger blocks (committed height %d)",
+			st.SnapshotHeight, replayed, st.CommittedHeight)
+	}
 	log.Printf("replica %s running %s with %d peers (consensus %s, http %q)",
 		self, cfg.Protocol, cfg.N, cfg.Addrs[self], *httpAddr)
 

@@ -24,6 +24,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/metrics"
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/protocol"
+	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -137,6 +138,16 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown backend %q", opts.Backend)
 	}
+	withStores := opts.WithStores
+	if cfg.SnapshotInterval > 0 {
+		// Snapshots serialize the kvstore and compact the ledger the
+		// snapshot covers: both halves must exist for the interval to
+		// mean anything.
+		if opts.DisableLedger {
+			return nil, errors.New("cluster: snapshot interval needs the ledger enabled")
+		}
+		withStores = true
+	}
 	ledgerDir := opts.LedgerDir
 	if ledgerDir == "" && !opts.DisableLedger {
 		// Ledger-backed state sync is on by default: without a
@@ -179,10 +190,15 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 			ep = c.shims[id]
 		}
 		nodeOpts := core.Options{OnViolation: opts.OnViolation, Elector: opts.Elector}
-		if opts.WithStores {
+		if withStores {
 			store := kvstore.New()
 			c.stores[id] = store
 			nodeOpts.Execute = store.Apply
+			// The kvstore doubles as the snapshottable state machine:
+			// with it wired, the replica can install peer snapshots
+			// during deep catch-up (and capture its own when the
+			// interval and a snapshot store are configured).
+			nodeOpts.State = store
 		}
 		if opts.CommitSeries != nil && id == observer {
 			nodeOpts.CommitSeries = opts.CommitSeries
@@ -195,6 +211,18 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 			}
 			nodeOpts.Ledger = led
 			c.ledgers = append(c.ledgers, led)
+			if withStores {
+				snaps, err := snapshot.OpenStore(
+					filepath.Join(ledgerDir, fmt.Sprintf("replica-%d.snap", i)))
+				if err != nil {
+					return fail(err)
+				}
+				nodeOpts.Snapshots = snaps
+			}
+			// Restart replay is on whenever persistence is: a fresh
+			// ledger makes it a no-op, a reused LedgerDir makes the
+			// replica rejoin at the height it went down at.
+			nodeOpts.Bootstrap = true
 		}
 		c.nodes[id] = core.NewNode(id, cfg, factory, ep, scheme, nodeOpts)
 	}
@@ -491,6 +519,9 @@ func (c *Cluster) AggregatePipeline() metrics.PipelineStats {
 		agg.SyncBatchesServed += s.SyncBatchesServed
 		agg.SyncBlocksApplied += s.SyncBlocksApplied
 		agg.SyncRejected += s.SyncRejected
+		agg.SnapshotInstalls += s.SnapshotInstalls
+		agg.SnapshotsServed += s.SnapshotsServed
+		agg.ReplayedBlocks += s.ReplayedBlocks
 	}
 	return agg
 }

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRestartReplayResumesChain: a whole cluster stopped and rebuilt
+// over the same LedgerDir resumes from disk — every replica restores
+// its own snapshot, replays only the ledger suffix above it (O(gap),
+// not O(chain)), republishes its pre-stop committed height, and the
+// cluster commits new blocks on top.
+func TestRestartReplayResumesChain(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(config.ProtocolHotStuff)
+	cfg.ForestKeep = 8
+	cfg.SnapshotInterval = 8
+
+	c1, err := New(cfg, Options{LedgerDir: dir, WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Start()
+	cl, err := c1.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.RunClosedLoop(8, 2*time.Second)
+	if err := c1.WaitForHeight(30, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]uint64, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		before[i-1] = c1.Node(types.NodeID(i)).Status().CommittedHeight
+	}
+	c1.Stop()
+
+	c2, err := New(cfg, Options{LedgerDir: dir, WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	t.Cleanup(c2.Stop)
+	var maxBefore uint64
+	for i := 1; i <= cfg.N; i++ {
+		id := types.NodeID(i)
+		st := c2.Node(id).Status()
+		p := c2.Node(id).Pipeline().Snapshot()
+		// The top few replayed blocks are held back (certified but
+		// uncommitted — crash-recovery safety without persisted
+		// votes); everything below the holdback must be right back.
+		if st.CommittedHeight+3 < before[i-1] {
+			t.Fatalf("replica %d rejoined at height %d, was at %d before the restart",
+				i, st.CommittedHeight, before[i-1])
+		}
+		if st.SnapshotHeight == 0 {
+			t.Fatalf("replica %d restored no snapshot", i)
+		}
+		// O(gap): the replay covered only the stretch between the
+		// last snapshot and the head — never the whole chain.
+		if p.ReplayedBlocks > uint64(cfg.SnapshotInterval) {
+			t.Fatalf("replica %d replayed %d blocks, snapshot interval is %d",
+				i, p.ReplayedBlocks, cfg.SnapshotInterval)
+		}
+		if st.CommittedHeight > maxBefore {
+			maxBefore = st.CommittedHeight
+		}
+	}
+
+	// The restarted cluster is alive: it commits past the replayed
+	// head under fresh load, and stays consistent.
+	cl2, err := c2.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2.RunClosedLoop(8, 2*time.Second)
+	if err := c2.WaitForHeight(maxBefore+10, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if v := c2.Violations(); v != 0 {
+		t.Fatalf("%d violations after restart", v)
+	}
+}
+
+// TestRestartedReplicaSyncsOnlyMissedTail is the acceptance shape for
+// restart replay: one replica crashes mid-run, the rest keep
+// committing well past the keep window, and the whole deployment is
+// then stopped and rebuilt over its ledgers. The once-crashed replica
+// must replay its own ledger up to the height it went down at
+// (ReplayedBlocks > 0, no network involved) and fetch only the tail
+// it missed while down through ranged state sync — sync traffic
+// bounded by the tail, not the chain.
+func TestRestartedReplicaSyncsOnlyMissedTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(config.ProtocolHotStuff)
+	cfg.N = 5
+	cfg.ForestKeep = 8
+
+	c1, err := New(cfg, Options{LedgerDir: dir, WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Start()
+	cl, err := c1.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.RunClosedLoop(8, 2*time.Second)
+	if err := c1.WaitForHeight(12, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Crash(2)
+	// The survivors must outrun the crashed replica by well over a
+	// keep window, so its post-restart tail needs deep sync.
+	h2 := c1.Node(2).Status().CommittedHeight
+	waitUntil(t, 30*time.Second, "survivors to outrun the crashed replica", func() bool {
+		return c1.Node(5).Status().CommittedHeight > h2+25
+	})
+	h2 = c1.Node(2).Status().CommittedHeight // settle on the frozen height
+	c1.Stop()
+
+	c2, err := New(cfg, Options{LedgerDir: dir, WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	t.Cleanup(c2.Stop)
+	st2 := c2.Node(2).Status()
+	p2 := c2.Node(2).Pipeline().Snapshot()
+	if p2.ReplayedBlocks == 0 {
+		t.Fatal("restarted replica replayed nothing from its own ledger")
+	}
+	if st2.CommittedHeight+3 < h2 {
+		t.Fatalf("restarted replica at height %d, its ledger reached %d", st2.CommittedHeight, h2)
+	}
+	replayBase := st2.CommittedHeight
+
+	// Fresh load; the restarted replica closes its tail through sync.
+	cl2, err := c2.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2.RunClosedLoop(8, 2*time.Second)
+	waitUntil(t, 45*time.Second, "restarted replica to close its tail", func() bool {
+		lead := c2.Node(5).Status().CommittedHeight
+		return lead > 0 && c2.Node(2).Status().CommittedHeight+uint64(cfg.ForestKeep) >= lead
+	})
+	p2 = c2.Node(2).Pipeline().Snapshot()
+	final := c2.Node(2).Status().CommittedHeight
+	if p2.SyncBlocksApplied == 0 {
+		t.Fatal("tail deeper than the keep window closed without state sync")
+	}
+	// "At most the tail": everything synced lies above the replayed
+	// base — the replay, not the network, covered the pre-crash
+	// history.
+	if p2.SyncBlocksApplied > final-replayBase {
+		t.Fatalf("synced %d blocks, tail above the replayed base is only %d",
+			p2.SyncBlocksApplied, final-replayBase)
+	}
+	if err := c2.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

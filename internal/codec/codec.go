@@ -55,6 +55,9 @@ func registerTypes() {
 		gob.Register(types.FetchMsg{})
 		gob.Register(types.SyncRequestMsg{})
 		gob.Register(types.SyncResponseMsg{})
+		gob.Register(types.SnapshotRequestMsg{})
+		gob.Register(types.SnapshotManifestMsg{})
+		gob.Register(types.SnapshotChunkMsg{})
 		gob.Register(types.RequestMsg{})
 		gob.Register(types.PayloadBatchMsg{})
 		gob.Register(types.ReplyMsg{})

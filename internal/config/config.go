@@ -146,6 +146,22 @@ type Config struct {
 	// the default of 128.
 	ApplyQueue int `json:"applyQueue"`
 
+	// SnapshotInterval, when positive, snapshots the replica's state
+	// machine every that-many committed heights: the canonical
+	// kvstore serialization plus the certified block header at the
+	// snapshot height is persisted next to the ledger, and the ledger
+	// compacts the covered prefix. Snapshots are what serve catch-up
+	// for peers whose gap outruns every retained ledger prefix
+	// (transfer cost O(state) instead of O(chain)) and what a
+	// restarted replica restores before replaying its ledger suffix.
+	// Zero disables snapshotting (the ledger then retains the whole
+	// chain). Enabled values below the forest keep window are
+	// rejected: the window of full blocks above a snapshot is what
+	// lets peers bridge the snapshot to the live chain. Capture runs
+	// on the commit path — pair with AsyncCommit for large states, or
+	// the serialization and ledger compaction stall the event loop.
+	SnapshotInterval int `json:"snapshotInterval"`
+
 	// ForestKeep is how many committed heights of full blocks the
 	// forest retains below the tip for parent lookups and shallow
 	// catch-up serving; deeper history is served from the ledger by
@@ -258,6 +274,13 @@ func (c *Config) Validate() error {
 	}
 	if c.ForestKeep != 0 && c.ForestKeep < 8 {
 		return fmt.Errorf("config: forest keep window %d below minimum 8", c.ForestKeep)
+	}
+	if c.SnapshotInterval < 0 {
+		return errors.New("config: snapshot interval must be non-negative")
+	}
+	if c.SnapshotInterval != 0 && c.SnapshotInterval < c.KeepWindow() {
+		return fmt.Errorf("config: snapshot interval %d below forest keep window %d",
+			c.SnapshotInterval, c.KeepWindow())
 	}
 	return nil
 }

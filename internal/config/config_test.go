@@ -94,6 +94,12 @@ func TestValidateRejections(t *testing.T) {
 		{"master out of range", func(c *Config) { c.Master = 9 }},
 		{"forest keep below minimum", func(c *Config) { c.ForestKeep = 7 }},
 		{"negative forest keep", func(c *Config) { c.ForestKeep = -1 }},
+		{"negative snapshot interval", func(c *Config) { c.SnapshotInterval = -1 }},
+		{"snapshot interval below default keep window", func(c *Config) { c.SnapshotInterval = 8 }},
+		{"snapshot interval below explicit keep window", func(c *Config) {
+			c.ForestKeep = 12
+			c.SnapshotInterval = 11
+		}},
 		{"address count mismatch", func(c *Config) {
 			c.Addrs = map[types.NodeID]string{1: "x"}
 		}},
@@ -106,6 +112,28 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatal("expected validation error")
 			}
 		})
+	}
+}
+
+// TestSnapshotIntervalValidation: the interval is accepted at or
+// above the keep window (matching or exceeding the block retention
+// that bridges a snapshot to the live chain) and zero stays disabled.
+func TestSnapshotIntervalValidation(t *testing.T) {
+	c := Default()
+	c.SnapshotInterval = 16 // equals the default keep window
+	if err := c.Validate(); err != nil {
+		t.Fatalf("interval at the keep window rejected: %v", err)
+	}
+	c = Default()
+	c.ForestKeep = 8
+	c.SnapshotInterval = 8
+	if err := c.Validate(); err != nil {
+		t.Fatalf("interval at a shrunken keep window rejected: %v", err)
+	}
+	c = Default()
+	c.SnapshotInterval = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("disabled interval rejected: %v", err)
 	}
 }
 

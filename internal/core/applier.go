@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -10,11 +11,28 @@ import (
 // configuration leaves ApplyQueue at zero.
 const defaultApplyQueue = 128
 
-// applyJob is one committed block awaiting execution.
+// applyJob is one committed block awaiting execution, or — when
+// install is set — a verified peer snapshot awaiting installation.
+// Riding installs through the same ordered queue is what keeps the
+// state machine sequential: every block committed before the install
+// finishes executing first, and every suffix block committed after it
+// executes on top of the restored state.
 type applyJob struct {
 	block       *types.Block
 	height      uint64
 	committedAt time.Time
+	// selfQC certifies the job's block (nil only when the forest had
+	// no certificate recorded): persisted with the ledger record so a
+	// restarted replica can extend its replayed tip.
+	selfQC *types.QC
+	// snapshot directs the apply stage to capture a state snapshot
+	// (anchored by selfQC) right after executing the block — the
+	// point where the state machine reflects exactly this height.
+	snapshot bool
+	// install, when non-nil, replaces block execution: restore the
+	// state machine from the snapshot, re-base the ledger, and
+	// persist the snapshot locally.
+	install *snapshot.Snapshot
 }
 
 // applier is pipeline stage 3: an ordered commit-apply goroutine that
@@ -54,17 +72,24 @@ func (a *applier) stop() {
 	<-a.done
 }
 
-// run applies committed blocks in order.
+// run applies committed blocks (and snapshot installs) in order.
 func (a *applier) run() {
 	defer close(a.done)
 	for job := range a.jobs {
+		if job.install != nil {
+			a.n.applyInstall(job.install)
+			continue
+		}
 		if a.n.opts.Ledger != nil {
 			// Persistence is best-effort relative to consensus: the
 			// in-memory chain stays authoritative on append failure.
-			_ = a.n.opts.Ledger.Append(job.block, job.height)
+			_ = a.n.opts.Ledger.AppendCertified(job.block, job.height, job.selfQC)
 		}
 		if a.n.opts.Execute != nil {
 			a.n.opts.Execute(job.block.Payload)
+		}
+		if job.snapshot {
+			a.n.captureSnapshot(job.block, job.height, job.selfQC)
 		}
 		a.n.pipeline.OnBlockApplied(time.Since(job.committedAt))
 	}

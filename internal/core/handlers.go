@@ -507,22 +507,37 @@ func (n *Node) commit(target *types.Block) {
 	}
 	n.statusMu.Unlock()
 	height := n.forest.CommittedHeight() - uint64(len(res.Committed))
-	for _, cb := range res.Committed {
+	// At most one state snapshot per commit batch: the highest due
+	// interval boundary (earlier ones would be superseded within the
+	// same batch).
+	snapHeight := n.dueSnapshotHeight(height, n.forest.CommittedHeight())
+	for i, cb := range res.Committed {
 		height++
 		n.tracker.OnBlockCommitted(cb.View, cur, len(cb.Payload))
+		// Every committed block has a certificate in hand (the next
+		// block's embedded QC, or the forest's certification record);
+		// it rides to the ledger record — restart replay needs it to
+		// extend the replayed tip — and anchors the state snapshot
+		// the apply stage captures on interval boundaries.
+		selfQC := n.commitCert(res.Committed, i)
+		takeSnap := height == snapHeight && selfQC != nil
 		if n.apply != nil {
 			// Stage 3: execution and persistence ride the ordered
 			// commit-apply goroutine so the loop returns to voting.
-			n.apply.enqueue(applyJob{block: cb, height: height, committedAt: now})
+			n.apply.enqueue(applyJob{block: cb, height: height, committedAt: now,
+				selfQC: selfQC, snapshot: takeSnap})
 		} else {
 			if n.opts.Ledger != nil {
 				// Persistence is best-effort relative to consensus:
 				// the in-memory chain stays authoritative on append
 				// failure.
-				_ = n.opts.Ledger.Append(cb, height)
+				_ = n.opts.Ledger.AppendCertified(cb, height, selfQC)
 			}
 			if n.opts.Execute != nil {
 				n.opts.Execute(cb.Payload)
+			}
+			if takeSnap {
+				n.captureSnapshot(cb, height, selfQC)
 			}
 		}
 		if n.opts.CommitSeries != nil {

@@ -28,6 +28,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/pacemaker"
 	"github.com/bamboo-bft/bamboo/internal/quorum"
 	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -51,6 +52,21 @@ type Options struct {
 	// Append errors are surfaced through OnViolation-style logging:
 	// the chain in memory remains authoritative.
 	Ledger *ledger.Ledger
+	// State, if non-nil, is the replica's snapshottable state machine
+	// (deterministic serialization + restore). It is what periodic
+	// snapshot capture serializes and what a snapshot install
+	// restores; without it the replica can neither take nor install
+	// snapshots. Keep it the same state Execute applies to.
+	State snapshot.State
+	// Snapshots, if non-nil, persists the replica's latest state
+	// snapshot and serves manifests/chunks to catch-up requesters.
+	// Capture additionally requires Config.SnapshotInterval > 0.
+	Snapshots *snapshot.Store
+	// Bootstrap replays the replica's own snapshot + ledger into
+	// forest and state machine on Start, before the event loop runs —
+	// restart cost O(tail missed), not O(chain). A fresh ledger makes
+	// it a no-op.
+	Bootstrap bool
 }
 
 // Status is the replica snapshot published after every commit.
@@ -60,12 +76,19 @@ type Status struct {
 	CommittedView   types.View
 	CommittedHash   types.Hash
 	Pool            int
-	// Syncing reports whether the replica is in deep catch-up,
-	// streaming ranged batches from a peer's ledger.
+	// Syncing reports whether the replica is in deep catch-up —
+	// streaming ranged batches from a peer's ledger, or negotiating
+	// and fetching a state snapshot.
 	Syncing bool
 	// SyncApplied counts blocks fast-forwarded through state sync
 	// over the replica's lifetime.
 	SyncApplied uint64
+	// SnapshotHeight and SnapshotDigest describe the replica's latest
+	// state snapshot — captured locally on the snapshot interval, or
+	// installed from peers during deep catch-up. Zero height means no
+	// snapshot yet.
+	SnapshotHeight uint64
+	SnapshotDigest types.Hash
 }
 
 // Node is one replica.
@@ -102,15 +125,11 @@ type Node struct {
 	// owned maps transactions this replica accepted to the client
 	// endpoint awaiting the commit reply.
 	owned map[types.TxID]types.NodeID
-	// syncing is true while the replica is in deep catch-up: its gap
-	// outran the forest keep window and it is streaming ranged
-	// batches from syncTarget's ledger (see sync.go). syncEpoch
-	// invalidates stall timers from finished episodes;
-	// syncLastHeight is the committed height at the last stall check.
-	syncing        bool
-	syncTarget     types.NodeID
-	syncEpoch      uint64
-	syncLastHeight uint64
+	// catchup is the deep catch-up episode state machine: active when
+	// the replica's gap outran the forest keep window and it is
+	// streaming ranged batches — or negotiating a snapshot — from its
+	// peers (see sync.go).
+	catchup syncEpisode
 	// proposedInView guards against double-proposing in one view.
 	proposedInView types.View
 	// lastTimeoutView is the highest view this replica has signed a
@@ -249,14 +268,20 @@ func (n *Node) Status() Status {
 }
 
 // HashAt returns the committed main-chain block hash at a height,
-// safely from any goroutine.
+// safely from any goroutine. Heights below a snapshot install point
+// hold no hash (their history never passed through this replica) and
+// report false.
 func (n *Node) HashAt(height uint64) (types.Hash, bool) {
 	n.statusMu.Lock()
 	defer n.statusMu.Unlock()
 	if height == 0 || height > uint64(len(n.committedHashes)) {
 		return types.ZeroHash, false
 	}
-	return n.committedHashes[height-1], true
+	h := n.committedHashes[height-1]
+	if h.IsZero() {
+		return types.ZeroHash, false
+	}
+	return h, true
 }
 
 // Submit queues a client transaction directly (in-process fast path
@@ -277,10 +302,15 @@ func (n *Node) AddCommitListener(fn func(types.View, types.Hash, []types.Transac
 }
 
 // Start launches the event loop plus, per configuration, the
-// verification pool and the commit-apply stage. The first leader
-// proposes once its view timer is armed; all other replicas follow
-// the QC chain.
+// verification pool and the commit-apply stage. With Bootstrap set,
+// the replica first replays its own snapshot + ledger into forest and
+// state machine, so it rejoins at the height it went down at. The
+// first leader proposes once its view timer is armed; all other
+// replicas follow the QC chain.
 func (n *Node) Start() {
+	if n.opts.Bootstrap {
+		n.bootstrap()
+	}
 	if n.cfg.AsyncVerify {
 		n.verif = newVerifier(n, n.cfg.VerifyWorkers)
 	}
@@ -385,6 +415,15 @@ func (n *Node) route(from types.NodeID, msg any, verified bool) {
 		// Self-authenticating: the handler verifies the embedded
 		// certificates, so the pool's verified flag is irrelevant.
 		n.onSyncResponse(from, m)
+	case types.SnapshotRequestMsg:
+		n.onSnapshotRequest(from, m)
+	case types.SnapshotManifestMsg:
+		// Self-authenticating like sync responses: the handler
+		// verifies the carried certificate and cross-checks the
+		// digest against f+1 peers before anything is trusted.
+		n.onSnapshotManifest(from, m)
+	case types.SnapshotChunkMsg:
+		n.onSnapshotChunk(from, m)
 	case syncRetryEvent:
 		n.onSyncRetry(m)
 	case types.QueryMsg:
@@ -413,8 +452,21 @@ func (n *Node) publishStatus() {
 	n.status.CommittedHeight = n.forest.CommittedHeight()
 	n.status.CommittedView = head.View
 	n.status.CommittedHash = head.ID()
-	n.status.Syncing = n.syncing
+	n.status.Syncing = n.catchup.state != syncIdle
 	n.status.SyncApplied = n.pipeline.SyncApplied()
+	n.statusMu.Unlock()
+}
+
+// noteSnapshot records the replica's freshest snapshot in the status
+// surface. Called from the apply stage (capture) and the event loop
+// (install); the height check keeps a late capture of an old height
+// from shadowing a newer install.
+func (n *Node) noteSnapshot(height uint64, digest types.Hash) {
+	n.statusMu.Lock()
+	if height >= n.status.SnapshotHeight {
+		n.status.SnapshotHeight = height
+		n.status.SnapshotDigest = digest
+	}
 	n.statusMu.Unlock()
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/protocol/hotstuff"
 	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -92,9 +93,15 @@ func newSyncFixture(t *testing.T, cfg config.Config, led *ledger.Ledger) *syncFi
 		t.Fatal(err)
 	}
 	store := kvstore.New()
+	snaps, err := snapshot.OpenStore(filepath.Join(t.TempDir(), "replica.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	n := NewNode(types.NodeID(cfg.N), cfg, hotstuff.New, self, scheme, Options{
-		Execute: store.Apply,
-		Ledger:  led,
+		Execute:   store.Apply,
+		Ledger:    led,
+		State:     store,
+		Snapshots: snaps,
 		OnViolation: func(err error) {
 			t.Errorf("violation during sync: %v", err)
 		},
@@ -114,11 +121,11 @@ func (fx *syncFixture) triggerDeepSync(t *testing.T, from types.NodeID) {
 	t.Helper()
 	deep := fx.chain[len(fx.chain)-1]
 	fx.n.onProposal(from, types.ProposalMsg{Block: deep}, true)
-	if !fx.n.syncing {
+	if fx.n.catchup.state == syncIdle {
 		t.Fatal("deep orphan did not start catch-up")
 	}
-	if fx.n.syncTarget != from {
-		t.Fatalf("sync target %s, want %s", fx.n.syncTarget, from)
+	if fx.n.catchup.target != from {
+		t.Fatalf("sync target %s, want %s", fx.n.catchup.target, from)
 	}
 	wantFrom := fx.n.forest.CommittedHeight() + 1
 	if got := fx.drainFor(t, from); got.From != wantFrom {
@@ -166,7 +173,7 @@ func TestDeepSyncHappyPath(t *testing.T) {
 	if got := fx.n.forest.CommittedHeight(); got != wantHeight {
 		t.Fatalf("committed height %d after sync, want %d (holdback %d)", got, wantHeight, syncHoldback)
 	}
-	if fx.n.syncing {
+	if fx.n.catchup.state != syncIdle {
 		t.Fatal("still syncing after reaching the served head")
 	}
 	if got := fx.store.Applied(); got != wantHeight {
@@ -268,10 +275,10 @@ func TestSyncRejectsTamperedBlocks(t *testing.T) {
 	if fx.n.Pipeline().Snapshot().SyncRejected == 0 {
 		t.Fatal("tampered response not counted as rejected")
 	}
-	if !fx.n.syncing {
+	if fx.n.catchup.state == syncIdle {
 		t.Fatal("rejection must keep catch-up alive for a retry")
 	}
-	if fx.n.syncTarget == 1 {
+	if fx.n.catchup.target == 1 {
 		t.Fatal("target not rotated away from the lying peer")
 	}
 }
@@ -389,16 +396,16 @@ func TestSyncRetryRotatesTarget(t *testing.T) {
 	// episode; mirror that, or the retry handler concludes the view
 	// gap has closed and (correctly) retires the episode instead.
 	fx.n.handleQC(fx.chain[len(fx.chain)-1].QC)
-	fx.n.onSyncRetry(syncRetryEvent{epoch: fx.n.syncEpoch})
-	if fx.n.syncTarget != 1 {
-		t.Fatalf("stalled round rotated to %s, want n1 (n4 is self)", fx.n.syncTarget)
+	fx.n.onSyncRetry(syncRetryEvent{epoch: fx.n.catchup.epoch})
+	if fx.n.catchup.target != 1 {
+		t.Fatalf("stalled round rotated to %s, want n1 (n4 is self)", fx.n.catchup.target)
 	}
 	if fx.drainFor(t, 1).From != 1 {
 		t.Fatal("rotated request not re-sent")
 	}
 	// A stale epoch (earlier episode's timer) must not touch state.
-	fx.n.onSyncRetry(syncRetryEvent{epoch: fx.n.syncEpoch - 1})
-	if fx.n.syncTarget != 1 {
+	fx.n.onSyncRetry(syncRetryEvent{epoch: fx.n.catchup.epoch - 1})
+	if fx.n.catchup.target != 1 {
 		t.Fatal("stale retry epoch rotated the target")
 	}
 }
@@ -413,8 +420,8 @@ func TestSyncRetryEndsCaughtUpEpisode(t *testing.T) {
 	fx.triggerDeepSync(t, 1)
 	// CurView stays at 1 in this fixture, within a window of the
 	// committed head's view 0: the premise for deep sync is gone.
-	fx.n.onSyncRetry(syncRetryEvent{epoch: fx.n.syncEpoch})
-	if fx.n.syncing {
+	fx.n.onSyncRetry(syncRetryEvent{epoch: fx.n.catchup.epoch})
+	if fx.n.catchup.state != syncIdle {
 		t.Fatal("caught-up episode not retired by the stall timer")
 	}
 	if fx.n.Status().Syncing {
@@ -428,7 +435,7 @@ func TestShallowGapDoesNotTriggerSync(t *testing.T) {
 	fx := newSyncFixture(t, syncTestCfg(), nil)
 	near := fx.chain[4] // view 5, well inside the window of 8
 	fx.n.onProposal(1, types.ProposalMsg{Block: near}, true)
-	if fx.n.syncing {
+	if fx.n.catchup.state != syncIdle {
 		t.Fatal("shallow orphan escalated to deep sync")
 	}
 	if fx.n.Pipeline().Snapshot().SyncRequestsSent != 0 {

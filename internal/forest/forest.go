@@ -305,12 +305,34 @@ func (f *Forest) KeepWindow() uint64 { return f.keepWindow }
 func (f *Forest) CommittedHead() *types.Block { return f.head.block }
 
 // CommittedHash returns the main-chain block hash at a height, for
-// cross-replica consistency checks.
+// cross-replica consistency checks. Heights below a snapshot install
+// point hold no hash (the history was never replayed here) and
+// report false.
 func (f *Forest) CommittedHash(height uint64) (types.Hash, bool) {
-	if height >= uint64(len(f.committed)) {
+	if height >= uint64(len(f.committed)) || f.committed[height].IsZero() {
 		return types.ZeroHash, false
 	}
 	return f.committed[height], true
+}
+
+// ResetTo reinitializes the forest with b — certified by qc — as the
+// committed head at the given height, discarding everything else: the
+// install step of snapshot-based catch-up, where the replica adopts a
+// verified remote state instead of replaying the history below it.
+// Committed hashes below the install height are unknown afterwards
+// (CommittedHash reports false for them), exactly like heights
+// compacted out of a normally-grown forest.
+func (f *Forest) ResetTo(b *types.Block, qc *types.QC, height uint64) {
+	v := &vertex{block: b, height: height, qc: qc, committed: true, notarizedLen: 1}
+	f.vertices = map[types.Hash]*vertex{b.ID(): v}
+	f.byHeight = map[uint64][]*vertex{height: {v}}
+	f.pending = make(map[types.Hash][]*types.Block)
+	f.committed = make([]types.Hash, height+1)
+	f.committed[height] = b.ID()
+	f.committedIdx = map[types.Hash]uint64{b.ID(): height}
+	f.dead = make(map[types.Hash]struct{})
+	f.head = v
+	f.notarizedTip = v
 }
 
 // Size returns the number of attached vertices (leak detection).

@@ -182,6 +182,13 @@ type Result struct {
 	// replica ID minus one) at the end of the final level — the raw
 	// material of the recovery verdict below.
 	Heights []uint64 `json:"heights,omitempty"`
+	// SnapshotHeights is every replica's final snapshot height
+	// (captured locally or installed from peers), present when the
+	// scenario enables snapshotting. A non-zero entry on a replica
+	// that was isolated past the compacted history proves it
+	// recovered by installing a snapshot rather than streaming the
+	// whole gap.
+	SnapshotHeights []uint64 `json:"snapshotHeights,omitempty"`
 	// Recovered reports whether every honest replica finished within
 	// one forest keep window of the highest honest committed height.
 	// With ledger-backed state sync this holds even for schedules
@@ -419,6 +426,12 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 		Dials: ts.Dials, Redials: ts.Redials, Accepted: ts.Accepted,
 	}
 	res.Heights, res.Recovered = recoveryVerdict(c, cfg)
+	if cfg.SnapshotInterval > 0 {
+		res.SnapshotHeights = make([]uint64, cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			res.SnapshotHeights[i-1] = c.Node(types.NodeID(i)).Status().SnapshotHeight
+		}
+	}
 	if series != nil {
 		res.Series = series.Rates()
 	}

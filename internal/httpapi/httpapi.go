@@ -145,26 +145,45 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusResponse augments the replica snapshot (which carries the
-// state-sync progress fields) with the pipeline's per-stage latencies,
-// so operators can see at a glance whether the verification pool or
-// the commit-apply stage is the bottleneck — or whether the replica is
-// still streaming catch-up batches. On transports that keep their own
-// counters (TCP deployments), Transport reports the endpoint's
-// traffic and connection churn; it is omitted on the in-process
-// switch, whose counters are deployment-wide.
+// state-sync progress and snapshot-height fields) with the pipeline's
+// per-stage latencies and the snapshot/restart counters, so operators
+// can see at a glance whether the verification pool or the
+// commit-apply stage is the bottleneck, whether the replica is still
+// streaming catch-up batches, and how it last recovered (snapshot
+// install vs ledger replay). StateDigest renders the latest snapshot
+// digest in hex (empty until a snapshot exists). On transports that
+// keep their own counters (TCP deployments), Transport reports the
+// endpoint's traffic and connection churn; it is omitted on the
+// in-process switch, whose counters are deployment-wide.
 type statusResponse struct {
 	core.Status
-	VerifyQueueWait metrics.LatencySummary  `json:"verifyQueueWait"`
-	ApplyLag        metrics.LatencySummary  `json:"applyLag"`
-	Transport       *network.TransportStats `json:"transport,omitempty"`
+	// SnapshotDigest shadows the embedded Status field out of the
+	// JSON (an outer field with the same name dominates; left empty,
+	// omitempty then drops it): the digest is served once, as the hex
+	// StateDigest below. A `json:"-"` tag would not work here — such
+	// fields are ignored entirely and the embedded one would marshal.
+	SnapshotDigest   string                  `json:"SnapshotDigest,omitempty"`
+	StateDigest      string                  `json:"stateDigest,omitempty"`
+	SnapshotInstalls uint64                  `json:"snapshotInstalls"`
+	SnapshotsServed  uint64                  `json:"snapshotsServed"`
+	ReplayedBlocks   uint64                  `json:"replayedBlocks"`
+	VerifyQueueWait  metrics.LatencySummary  `json:"verifyQueueWait"`
+	ApplyLag         metrics.LatencySummary  `json:"applyLag"`
+	Transport        *network.TransportStats `json:"transport,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	p := s.node.Pipeline().Snapshot()
 	resp := statusResponse{
-		Status:          s.node.Status(),
-		VerifyQueueWait: p.VerifyQueueWait,
-		ApplyLag:        p.ApplyLag,
+		Status:           s.node.Status(),
+		SnapshotInstalls: p.SnapshotInstalls,
+		SnapshotsServed:  p.SnapshotsServed,
+		ReplayedBlocks:   p.ReplayedBlocks,
+		VerifyQueueWait:  p.VerifyQueueWait,
+		ApplyLag:         p.ApplyLag,
+	}
+	if !resp.Status.SnapshotDigest.IsZero() {
+		resp.StateDigest = fmt.Sprintf("%x", resp.Status.SnapshotDigest[:])
 	}
 	if st, ok := s.node.Transport().(interface{ Stats() network.TransportStats }); ok {
 		stats := st.Stats()

@@ -177,6 +177,74 @@ func TestHashEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatusSnapshotSurface: with the snapshot interval configured,
+// /status exposes the replica's snapshot height, the hex state
+// digest, and the snapshot/restart pipeline counters — the operator's
+// view of how the replica would recover.
+func TestStatusSnapshotSurface(t *testing.T) {
+	cfg := config.Default()
+	cfg.Protocol = config.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 20
+	cfg.MemSize = 10000
+	cfg.Timeout = 150 * time.Millisecond
+	cfg.ForestKeep = 8
+	cfg.SnapshotInterval = 8
+	c, err := cluster.New(cfg, cluster.Options{WithStores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := c.Node(c.Observer())
+	api := New(node, 9002, 5*time.Second)
+	srv := httptest.NewServer(api.Handler())
+	c.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		c.Stop()
+	})
+	// Commit one command, then wait out the first snapshot interval
+	// (the chain keeps committing empty blocks on its own).
+	body, _ := json.Marshal(txRequest{Command: kvstore.EncodeSet("k", []byte("v"), 0)})
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for node.Status().SnapshotHeight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no snapshot captured within the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err = http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := raw["SnapshotHeight"].(float64); !ok || h < float64(cfg.SnapshotInterval) {
+		t.Fatalf("snapshot height missing or low: %v", raw["SnapshotHeight"])
+	}
+	digest, _ := raw["stateDigest"].(string)
+	if len(digest) != 64 {
+		t.Fatalf("state digest = %q, want 64 hex chars", digest)
+	}
+	if _, leaked := raw["SnapshotDigest"]; leaked {
+		t.Fatal("raw digest byte array leaked into /status next to the hex form")
+	}
+	for _, key := range []string{"snapshotInstalls", "snapshotsServed", "replayedBlocks"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("/status missing %q", key)
+		}
+	}
+}
+
 func TestBadTxBody(t *testing.T) {
 	_, srv := startAPICluster(t)
 	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewBufferString("{nope"))

@@ -1,0 +1,97 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// TestSnapshotStateRoundTrip: serialize → restore reproduces the
+// exact state, counters included, and the restored store re-serializes
+// to the identical bytes.
+func TestSnapshotStateRoundTrip(t *testing.T) {
+	s := New()
+	s.Apply([]types.Transaction{
+		{ID: types.TxID{Client: 1, Seq: 1}, Command: EncodeSet("alpha", []byte("one"), 0)},
+		{ID: types.TxID{Client: 1, Seq: 2}, Command: EncodeSet("beta", []byte{0, 1, 2}, 0)},
+		{ID: types.TxID{Client: 1, Seq: 3}, Command: EncodeGet("alpha", 0)},
+		{ID: types.TxID{Client: 1, Seq: 4}, Command: EncodeDel("beta", 0)},
+		{ID: types.TxID{Client: 1, Seq: 5}, Command: EncodeSet("", nil, 0)}, // empty key and value
+	})
+	blob := s.SnapshotState()
+
+	r := New()
+	r.Apply([]types.Transaction{ // pre-existing state must be discarded
+		{ID: types.TxID{Client: 2, Seq: 1}, Command: EncodeSet("junk", []byte("x"), 0)},
+	})
+	if err := r.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Get("alpha"); !ok || string(v) != "one" {
+		t.Fatalf("alpha = %q, %v", v, ok)
+	}
+	if _, ok := r.Get("beta"); ok {
+		t.Fatal("deleted key survived the round trip")
+	}
+	if _, ok := r.Get("junk"); ok {
+		t.Fatal("pre-restore state leaked through")
+	}
+	if r.Applied() != s.Applied() || r.Reads() != s.Reads() {
+		t.Fatalf("counters diverged: applied %d/%d reads %d/%d",
+			r.Applied(), s.Applied(), r.Reads(), s.Reads())
+	}
+	if !bytes.Equal(r.SnapshotState(), blob) {
+		t.Fatal("restored store serializes differently")
+	}
+}
+
+// TestSnapshotStateDeterministic: insertion order must not leak into
+// the serialization — two stores reaching the same state through
+// different histories of equal length serialize identically.
+func TestSnapshotStateDeterministic(t *testing.T) {
+	a, b := New(), New()
+	a.Apply([]types.Transaction{
+		{Command: EncodeSet("k1", []byte("v1"), 0)},
+		{Command: EncodeSet("k2", []byte("v2"), 0)},
+		{Command: EncodeSet("k3", []byte("v3"), 0)},
+	})
+	b.Apply([]types.Transaction{
+		{Command: EncodeSet("k3", []byte("v3"), 0)},
+		{Command: EncodeSet("k1", []byte("wrong"), 0)},
+		{Command: EncodeSet("k1", []byte("v1"), 0)},
+	})
+	// Equalize the applied counters so only map iteration order could
+	// still differ between the serializations.
+	a.Apply([]types.Transaction{{Command: EncodeNoop(0)}})
+	b.Apply([]types.Transaction{{Command: EncodeSet("k2", []byte("v2"), 0)}})
+	if a.Applied() != b.Applied() {
+		t.Fatalf("test setup: applied %d vs %d", a.Applied(), b.Applied())
+	}
+	if !bytes.Equal(a.SnapshotState(), b.SnapshotState()) {
+		t.Fatal("same state, different serialization")
+	}
+}
+
+// TestRestoreStateRejectsMalformed: truncated or trailing-garbage
+// serializations are rejected without touching the store.
+func TestRestoreStateRejectsMalformed(t *testing.T) {
+	s := New()
+	s.Apply([]types.Transaction{{Command: EncodeSet("keep", []byte("me"), 0)}})
+	blob := s.SnapshotState()
+	for name, bad := range map[string][]byte{
+		"empty":     {},
+		"truncated": blob[:len(blob)-1],
+		"trailing":  append(append([]byte{}, blob...), 0xff),
+		"lying len": {0x01, 0xff, 0xff}, // claims a huge key
+	} {
+		r := New()
+		r.Apply([]types.Transaction{{Command: EncodeSet("pre", []byte("x"), 0)}})
+		if err := r.RestoreState(bad); err == nil {
+			t.Fatalf("%s serialization accepted", name)
+		}
+		if _, ok := r.Get("pre"); !ok {
+			t.Fatalf("%s serialization clobbered the store before failing", name)
+		}
+	}
+}

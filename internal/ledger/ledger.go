@@ -42,9 +42,14 @@ import (
 var (
 	ErrEmptyRange = errors.New("ledger: empty range")
 	ErrPastHead   = errors.New("ledger: range starts past the persisted head")
+	// ErrCompacted reports a range starting at or below the
+	// compacted floor: the prefix was dropped because a snapshot
+	// covers it, and the caller must fall back to snapshot transfer.
+	ErrCompacted = errors.New("ledger: range below the compacted floor")
 )
 
-// record is one persisted block.
+// record is one persisted block, or — when Base is set — the
+// compaction marker that heads a compacted file.
 type record struct {
 	Height   uint64
 	View     types.View
@@ -59,22 +64,46 @@ type record struct {
 	QC *types.QC
 	// Sig is the proposer's signature over the block ID.
 	Sig []byte
+	// SelfQC is a certificate for THIS block (the one that justified
+	// committing it). Restart replay needs it for the replayed head:
+	// without a certificate in hand for the tip, a rebooted leader
+	// could only propose on top of the grandparent — stale at every
+	// peer — and the cluster would stall. Nil on records written
+	// before SelfQC persistence.
+	SelfQC *types.QC
+	// Base marks a compaction marker: the record carries no block,
+	// and Height is the compacted floor — every height at or below
+	// it was dropped because a snapshot covers it. Only valid as the
+	// first record of a file.
+	Base bool
 }
 
-// Ledger is an append-only store of committed blocks.
+// Ledger is an append-only store of committed blocks whose prefix can
+// be compacted away once a state snapshot covers it.
 type Ledger struct {
-	mu     sync.Mutex
-	path   string
-	f      *os.File
-	w      io.Writer
-	flush  func() error
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	w        io.Writer
+	flush    func() error
+	buffered bool
+	// base is the compacted floor: heights at or below it are gone
+	// from the file (served by the snapshot instead). Zero means the
+	// file still reaches back to height 1.
+	base   uint64
 	height uint64
-	// offsets[h-1] is the file offset of the record for height h —
-	// the height index behind ReadRange. Heights are contiguous from
-	// 1, so a slice is the whole index.
+	// offsets[h-base-1] is the file offset of the record for height
+	// h — the height index behind ReadRange. Retained heights are
+	// contiguous from base+1, so a slice is the whole index.
 	offsets []int64
 	// size is the current end-of-file offset (all appends accounted).
-	size   int64
+	size int64
+	// gen counts file swaps (compaction, reset) and tail truncations.
+	// ReadRange snapshots it with the offsets and re-checks after
+	// opening its descriptor: the file was append-only before
+	// compaction existed, and a swap between offset lookup and open
+	// would otherwise point the read into a rewritten file.
+	gen    uint64
 	closed bool
 }
 
@@ -107,22 +136,38 @@ func open(path string, buffered bool) (*Ledger, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
-	l := &Ledger{path: path, f: f, height: sc.height, offsets: sc.offsets, size: sc.end}
-	if buffered {
-		bw := bufio.NewWriterSize(f, 1<<16)
+	l := &Ledger{path: path, f: f, buffered: buffered,
+		base: sc.base, height: sc.height, offsets: sc.offsets, size: sc.end}
+	l.resetWriter()
+	return l, nil
+}
+
+// resetWriter (re)builds the write path onto l.f, preserving the
+// buffered-or-not choice made at Open.
+func (l *Ledger) resetWriter() {
+	if l.buffered {
+		bw := bufio.NewWriterSize(l.f, 1<<16)
 		l.w = bw
 		l.flush = bw.Flush
 	} else {
-		l.w = f
+		l.w = l.f
 		l.flush = func() error { return nil }
 	}
-	return l, nil
 }
 
 // Append persists a committed block at the next height. Blocks must
 // arrive in commit order; a skipped or repeated height is rejected,
 // because the on-disk chain must mirror the committed chain exactly.
 func (l *Ledger) Append(b *types.Block, height uint64) error {
+	return l.AppendCertified(b, height, nil)
+}
+
+// AppendCertified is Append carrying a certificate for the appended
+// block itself (available on every commit path: the next committed
+// block's embedded certificate, or the forest's certification
+// record). It is what lets restart replay hand the rebooted replica a
+// certified chain tip to build on.
+func (l *Ledger) AppendCertified(b *types.Block, height uint64, selfQC *types.QC) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -140,6 +185,7 @@ func (l *Ledger) Append(b *types.Block, height uint64) error {
 		Payload:  b.Payload,
 		QC:       b.QC,
 		Sig:      b.Sig,
+		SelfQC:   selfQC,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
@@ -164,6 +210,169 @@ func (l *Ledger) Height() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.height
+}
+
+// Base returns the compacted floor: the height at or below which
+// records have been dropped because a snapshot covers them. Zero
+// means the whole chain from height 1 is still on disk.
+func (l *Ledger) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// markerFrame encodes a compaction marker for the given floor as one
+// length-prefixed frame.
+func markerFrame(base uint64) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&record{Height: base, Base: true}); err != nil {
+		return nil, fmt.Errorf("ledger: marker: %w", err)
+	}
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(body.Len()))
+	return append(lenb[:n:n], body.Bytes()...), nil
+}
+
+// CompactTo drops every record at heights at or below `to`, leaving a
+// compaction marker so a reopened ledger knows its floor. Call it
+// once a snapshot covers the prefix — deep catch-up for the dropped
+// heights is then served by snapshot transfer instead. Compacting at
+// or below the current floor is a no-op; compacting past the head is
+// rejected. The rewrite is atomic (write-then-rename), so a crash
+// mid-compaction leaves the previous file intact.
+func (l *Ledger) CompactTo(to uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("ledger: closed")
+	}
+	if to <= l.base {
+		return nil
+	}
+	if to > l.height {
+		return fmt.Errorf("ledger: compact to %d past head %d", to, l.height)
+	}
+	if err := l.flush(); err != nil {
+		return fmt.Errorf("ledger: flush: %w", err)
+	}
+	marker, err := markerFrame(to)
+	if err != nil {
+		return err
+	}
+	// Offset of the first retained record (height to+1), or end of
+	// file when everything is compacted away.
+	keepStart := l.size
+	if to < l.height {
+		keepStart = l.offsets[to-l.base]
+	}
+	tmp := l.path + ".compact"
+	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	if _, err := out.Write(marker); err != nil {
+		_ = out.Close()
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	src, err := os.Open(l.path)
+	if err != nil {
+		_ = out.Close()
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	_, err = io.Copy(out, io.NewSectionReader(src, keepStart, l.size-keepStart))
+	_ = src.Close()
+	if err != nil {
+		_ = out.Close()
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	if err := out.Sync(); err != nil {
+		_ = out.Close()
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	return l.swapFile(tmp, to, keepStart, int64(len(marker)))
+}
+
+// ResetTo discards the entire file and re-bases the ledger at the
+// given height: the next append must be height+1. It is the install
+// step of snapshot-based catch-up — after jumping the state machine
+// to a snapshot, the local chain below it is another deployment's
+// history as far as this file is concerned.
+func (l *Ledger) ResetTo(height uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("ledger: closed")
+	}
+	marker, err := markerFrame(height)
+	if err != nil {
+		return err
+	}
+	tmp := l.path + ".compact"
+	// Sync before rename, like CompactTo: the caller just dropped (or
+	// is about to drop) the history this marker re-bases over, so the
+	// marker must not sit in the page cache when the old file is gone.
+	mf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: reset: %w", err)
+	}
+	if _, err := mf.Write(marker); err != nil {
+		_ = mf.Close()
+		return fmt.Errorf("ledger: reset: %w", err)
+	}
+	if err := mf.Sync(); err != nil {
+		_ = mf.Close()
+		return fmt.Errorf("ledger: reset: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("ledger: reset: %w", err)
+	}
+	if err := l.swapFile(tmp, height, l.size, int64(len(marker))); err != nil {
+		return err
+	}
+	// Unlike compaction, a reset may re-base BELOW the old head; the
+	// file is empty either way.
+	l.height = height
+	l.offsets = nil
+	return nil
+}
+
+// swapFile renames tmp over the live file and rewires the append
+// handle and the height index: records formerly at file offset
+// keepStart onward now live right after a marker of markerLen bytes,
+// and heights at or below newBase are gone. Callers hold l.mu.
+func (l *Ledger) swapFile(tmp string, newBase uint64, keepStart, markerLen int64) error {
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("ledger: swap: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("ledger: swap: %w", err)
+	}
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: swap: %w", err)
+	}
+	l.f = f
+	l.resetWriter()
+	var kept []int64
+	if keepStart < l.size && newBase >= l.base {
+		if drop := int(newBase - l.base); drop < len(l.offsets) {
+			kept = make([]int64, 0, len(l.offsets)-drop)
+			for _, off := range l.offsets[drop:] {
+				kept = append(kept, markerLen+(off-keepStart))
+			}
+		}
+	}
+	l.offsets = kept
+	l.size = markerLen + (l.size - keepStart)
+	l.base = newBase
+	l.gen++
+	if l.height < newBase {
+		l.height = newBase
+	}
+	return nil
 }
 
 // Sync flushes buffered records to the file.
@@ -194,18 +403,40 @@ func (l *Ledger) Close() error {
 // height order, seeking straight to the first record through the
 // height index instead of replaying the file. A `to` beyond the
 // persisted head is clamped to it; a `from` past the head returns
-// ErrPastHead and an inverted range returns ErrEmptyRange. Returned
-// blocks carry their certificate and proposer signature, so a sync
-// response built from them is verifiable end to end.
+// ErrPastHead, a `from` at or below the compacted floor returns
+// ErrCompacted (the caller's cue to fall back to snapshot transfer),
+// and an inverted range returns ErrEmptyRange. Returned blocks carry
+// their certificate and proposer signature, so a sync response built
+// from them is verifiable end to end. A compaction racing the read
+// (the apply stage rewrites the file, the event loop serves from it)
+// is detected through the swap generation and the read retried
+// against the fresh index.
 func (l *Ledger) ReadRange(from, to uint64) ([]*types.Block, error) {
+	for attempt := 0; ; attempt++ {
+		blocks, raced, err := l.readRange(from, to)
+		if raced && attempt < 3 {
+			continue
+		}
+		return blocks, err
+	}
+}
+
+// readRange is one ReadRange attempt; raced reports that the file was
+// swapped between the offset lookup and the open, invalidating the
+// offset (the caller retries against the new index).
+func (l *Ledger) readRange(from, to uint64) (_ []*types.Block, raced bool, _ error) {
 	l.mu.Lock()
 	if from == 0 || from > to {
 		l.mu.Unlock()
-		return nil, ErrEmptyRange
+		return nil, false, ErrEmptyRange
+	}
+	if from <= l.base {
+		l.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %d at floor %d", ErrCompacted, from, l.base)
 	}
 	if from > l.height {
 		l.mu.Unlock()
-		return nil, fmt.Errorf("%w: %d > %d", ErrPastHead, from, l.height)
+		return nil, false, fmt.Errorf("%w: %d > %d", ErrPastHead, from, l.height)
 	}
 	if to > l.height {
 		to = l.height
@@ -215,19 +446,31 @@ func (l *Ledger) ReadRange(from, to uint64) ([]*types.Block, error) {
 	// position untouched.
 	if err := l.flush(); err != nil {
 		l.mu.Unlock()
-		return nil, fmt.Errorf("ledger: flush: %w", err)
+		return nil, false, fmt.Errorf("ledger: flush: %w", err)
 	}
-	start := l.offsets[from-1]
+	start := l.offsets[from-l.base-1]
+	gen := l.gen
 	path := l.path
 	l.mu.Unlock()
 
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("ledger: %w", err)
+		return nil, false, fmt.Errorf("ledger: %w", err)
 	}
 	defer func() { _ = f.Close() }()
+	// If the file was swapped before the open, the descriptor is the
+	// NEW file and the offset belongs to the old one. Once this check
+	// passes, later swaps are harmless: the rename leaves this open
+	// descriptor on the pre-swap inode, whose layout the offset
+	// matches.
+	l.mu.Lock()
+	raced = l.gen != gen
+	l.mu.Unlock()
+	if raced {
+		return nil, true, fmt.Errorf("ledger: read raced a compaction")
+	}
 	if _, err := f.Seek(start, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("ledger: seek: %w", err)
+		return nil, false, fmt.Errorf("ledger: seek: %w", err)
 	}
 	br := bufio.NewReader(f)
 	out := make([]*types.Block, 0, to-from+1)
@@ -237,18 +480,18 @@ func (l *Ledger) ReadRange(from, to uint64) ([]*types.Block, error) {
 			if err == nil {
 				err = errors.New("unexpected end of file")
 			}
-			return nil, fmt.Errorf("ledger: read height %d: %w", h, err)
+			return nil, false, fmt.Errorf("ledger: read height %d: %w", h, err)
 		}
 		if rec.Height != h {
-			return nil, fmt.Errorf("ledger: index skew: record %d where %d expected", rec.Height, h)
+			return nil, false, fmt.Errorf("ledger: index skew: record %d where %d expected", rec.Height, h)
 		}
 		b, err := rec.block()
 		if err != nil {
-			return nil, fmt.Errorf("ledger: height %d: %w", h, err)
+			return nil, false, fmt.Errorf("ledger: height %d: %w", h, err)
 		}
 		out = append(out, b)
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // block reconstructs the persisted block and checks that the
@@ -274,10 +517,20 @@ func (rec *record) block() (*types.Block, error) {
 
 // Replay streams the persisted chain in commit order, reconstructing
 // blocks and verifying that heights are contiguous and parent hashes
-// chain correctly. fn receives each block and its height. A truncated
-// final record (crash mid-append) ends the replay cleanly at the last
+// chain correctly. fn receives each block and its height. A compacted
+// file replays its retained suffix (the compaction marker is skipped;
+// the first retained record's parent is the snapshot block, outside
+// the file, so its parent link is not checked). A truncated final
+// record (crash mid-append) ends the replay cleanly at the last
 // intact record; structural corruption is reported as an error.
 func Replay(path string, fn func(b *types.Block, height uint64) error) error {
+	return replay(path, func(b *types.Block, height uint64, _ *types.QC) error {
+		return fn(b, height)
+	})
+}
+
+// replay is the walk behind Replay and ReplayCertified.
+func replay(path string, fn func(b *types.Block, height uint64, selfQC *types.QC) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -286,7 +539,7 @@ func Replay(path string, fn func(b *types.Block, height uint64) error) error {
 	br := bufio.NewReader(f)
 	var prevID types.Hash
 	var prevHeight uint64
-	first := true
+	first, sawMarker := true, false
 	for {
 		rec, _, status, err := readRecord(br)
 		if status == frameEnd || status == frameTruncated {
@@ -295,8 +548,21 @@ func Replay(path string, fn func(b *types.Block, height uint64) error) error {
 		if err != nil {
 			return fmt.Errorf("ledger: corrupt record after height %d: %w", prevHeight, err)
 		}
+		if rec.Base {
+			// Exactly one marker, leading the file — the same
+			// structure scan enforces at Open.
+			if !first || sawMarker {
+				return fmt.Errorf("ledger: compaction marker after height %d", prevHeight)
+			}
+			sawMarker = true
+			prevHeight = rec.Height
+			continue
+		}
 		if !first && rec.Height != prevHeight+1 {
 			return fmt.Errorf("ledger: height gap: %d after %d", rec.Height, prevHeight)
+		}
+		if first && prevHeight != 0 && rec.Height != prevHeight+1 {
+			return fmt.Errorf("ledger: height gap: %d after floor %d", rec.Height, prevHeight)
 		}
 		if !first && rec.Parent != prevID {
 			return fmt.Errorf("ledger: broken chain at height %d", rec.Height)
@@ -309,11 +575,73 @@ func Replay(path string, fn func(b *types.Block, height uint64) error) error {
 			Payload:  rec.Payload,
 			Sig:      rec.Sig,
 		}
-		if err := fn(b, rec.Height); err != nil {
+		if err := fn(b, rec.Height, rec.SelfQC); err != nil {
 			return err
 		}
 		prevID, prevHeight, first = rec.ID, rec.Height, false
 	}
+}
+
+// Replay streams this ledger's retained records in commit order,
+// flushing buffered appends first so the walk sees every persisted
+// height. It reads through its own descriptor — the append position
+// is untouched.
+func (l *Ledger) Replay(fn func(b *types.Block, height uint64) error) error {
+	return l.ReplayCertified(func(b *types.Block, height uint64, _ *types.QC) error {
+		return fn(b, height)
+	})
+}
+
+// ReplayCertified is Replay handing back each record's own
+// certificate alongside the block (nil for records written before
+// SelfQC persistence). It is the restart-replay entry point: a
+// rebooted replica rebuilds forest and state machine from it before
+// joining, and the final record's certificate is what lets it extend
+// the replayed tip.
+func (l *Ledger) ReplayCertified(fn func(b *types.Block, height uint64, selfQC *types.QC) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("ledger: closed")
+	}
+	if err := l.flush(); err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("ledger: flush: %w", err)
+	}
+	path := l.path
+	l.mu.Unlock()
+	return replay(path, fn)
+}
+
+// TruncateTo drops every record above the given height — the restart
+// bootstrap's rollback for replayed-but-held-back tail blocks, which
+// stay uncommitted until the live chain re-certifies them (and must
+// therefore be re-appendable). Truncating at or above the head is a
+// no-op; truncating below the compacted floor is rejected.
+func (l *Ledger) TruncateTo(height uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("ledger: closed")
+	}
+	if height >= l.height {
+		return nil
+	}
+	if height < l.base {
+		return fmt.Errorf("ledger: truncate to %d below floor %d", height, l.base)
+	}
+	if err := l.flush(); err != nil {
+		return fmt.Errorf("ledger: flush: %w", err)
+	}
+	cut := l.offsets[height-l.base]
+	if err := os.Truncate(l.path, cut); err != nil {
+		return fmt.Errorf("ledger: truncate: %w", err)
+	}
+	l.offsets = l.offsets[:height-l.base]
+	l.size = cut
+	l.height = height
+	l.gen++
+	return nil
 }
 
 // frameStatus classifies the outcome of reading one record frame.
@@ -384,11 +712,12 @@ func readUvarintCount(br *bufio.Reader) (uint64, int, error) {
 }
 
 // scanResult summarizes a file walk: the height index, the end offset
-// of the last intact record, the resume height, and whether a torn
-// tail follows.
+// of the last intact record, the resume height, the compacted floor,
+// and whether a torn tail follows.
 type scanResult struct {
 	offsets   []int64
 	end       int64
+	base      uint64
 	height    uint64
 	truncated bool
 }
@@ -396,8 +725,11 @@ type scanResult struct {
 // scan walks the file building the height index and finding the safe
 // append point, enforcing the same chain structure Replay does —
 // contiguous heights, each record's parent naming its predecessor. A
-// ledger with garbage or a broken link in the middle must not
-// silently resume (or be served to catch-up peers).
+// compacted file leads with its marker, which re-bases the expected
+// heights; the first retained record's parent (the snapshot block)
+// is outside the file and goes unchecked. A ledger with garbage or a
+// broken link in the middle must not silently resume (or be served
+// to catch-up peers).
 func scan(path string) (scanResult, error) {
 	var sc scanResult
 	f, err := os.Open(path)
@@ -407,6 +739,7 @@ func scan(path string) (scanResult, error) {
 	defer func() { _ = f.Close() }()
 	br := bufio.NewReader(f)
 	var prevID types.Hash
+	first := true
 	for {
 		rec, n, status, err := readRecord(br)
 		switch status {
@@ -418,15 +751,26 @@ func scan(path string) (scanResult, error) {
 		case frameCorrupt:
 			return sc, fmt.Errorf("ledger: corrupt record after height %d: %w", sc.height, err)
 		}
+		if rec.Base {
+			if !first {
+				return sc, fmt.Errorf("ledger: compaction marker after height %d", sc.height)
+			}
+			sc.base = rec.Height
+			sc.height = rec.Height
+			sc.end += n
+			first = false
+			continue
+		}
 		if rec.Height != sc.height+1 {
 			return sc, fmt.Errorf("ledger: height gap: %d after %d", rec.Height, sc.height)
 		}
-		if sc.height > 0 && rec.Parent != prevID {
+		if sc.height > sc.base && rec.Parent != prevID {
 			return sc, fmt.Errorf("ledger: broken chain at height %d", rec.Height)
 		}
 		sc.offsets = append(sc.offsets, sc.end)
 		sc.height = rec.Height
 		sc.end += n
 		prevID = rec.ID
+		first = false
 	}
 }

@@ -44,8 +44,20 @@ type PipelineStats struct {
 	// verified state-sync responses.
 	SyncBlocksApplied uint64
 	// SyncRejected counts sync responses dropped for being
-	// unsolicited, mis-ranged, or failing certificate verification.
+	// unsolicited, mis-ranged, or failing certificate verification —
+	// including snapshot manifests and chunks that failed their
+	// digest or certificate checks.
 	SyncRejected uint64
+	// SnapshotInstalls counts state snapshots this replica fetched
+	// from peers, verified against f+1 manifests, and installed.
+	SnapshotInstalls uint64
+	// SnapshotsServed counts snapshot manifests this replica served
+	// to catch-up requesters whose gap outran its ledger prefix.
+	SnapshotsServed uint64
+	// ReplayedBlocks counts committed blocks a restarted replica
+	// replayed from its own ledger into forest and state machine
+	// before joining — restart cost O(gap), not O(chain).
+	ReplayedBlocks uint64
 }
 
 // PipelineTracker accumulates PipelineStats. The zero value is ready
@@ -67,6 +79,10 @@ type PipelineTracker struct {
 	syncServed   Counter
 	syncApplied  Counter
 	syncRejected Counter
+
+	snapInstalls Counter
+	snapServed   Counter
+	replayed     Counter
 }
 
 // OnVerifyBatch records one verification pool batch: the queue wait of
@@ -113,6 +129,16 @@ func (p *PipelineTracker) OnSyncApplied(n uint64) { p.syncApplied.Add(n) }
 // OnSyncRejected records a sync response dropped by verification.
 func (p *PipelineTracker) OnSyncRejected() { p.syncRejected.Add(1) }
 
+// OnSnapshotInstalled records a peer snapshot verified and installed.
+func (p *PipelineTracker) OnSnapshotInstalled() { p.snapInstalls.Add(1) }
+
+// OnSnapshotServed records a snapshot manifest served to a requester.
+func (p *PipelineTracker) OnSnapshotServed() { p.snapServed.Add(1) }
+
+// OnBlocksReplayed records n blocks replayed from the replica's own
+// ledger during restart bootstrap.
+func (p *PipelineTracker) OnBlocksReplayed(n uint64) { p.replayed.Add(n) }
+
 // SyncApplied returns the running count of sync-applied blocks (the
 // replica status surface reads it without a full snapshot).
 func (p *PipelineTracker) SyncApplied() uint64 { return p.syncApplied.Load() }
@@ -135,5 +161,9 @@ func (p *PipelineTracker) Snapshot() PipelineStats {
 		SyncBatchesServed: p.syncServed.Load(),
 		SyncBlocksApplied: p.syncApplied.Load(),
 		SyncRejected:      p.syncRejected.Load(),
+
+		SnapshotInstalls: p.snapInstalls.Load(),
+		SnapshotsServed:  p.snapServed.Load(),
+		ReplayedBlocks:   p.replayed.Load(),
 	}
 }

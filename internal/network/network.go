@@ -110,13 +110,30 @@ func messageSize(msg any) int {
 	case types.SyncRequestMsg:
 		return 24 // two heights plus framing
 	case types.SyncResponseMsg:
-		n := 24
+		n := 32
 		for _, b := range m.Blocks {
 			if b != nil {
 				n += b.Size()
 			}
 		}
 		return n
+	case types.SnapshotRequestMsg:
+		return 20 // height, chunk index, framing
+	case types.SnapshotManifestMsg:
+		n := 64 + 32*len(m.ChunkDigests)
+		if m.Block != nil {
+			n += m.Block.Size()
+		}
+		if m.QC != nil {
+			n += 8 + 32
+			for _, s := range m.QC.Sigs {
+				n += 4 + len(s)
+			}
+			n += 4 * len(m.QC.Signers)
+		}
+		return n
+	case types.SnapshotChunkMsg:
+		return 20 + len(m.Data)
 	case Sizer:
 		return m.Size()
 	}

@@ -37,11 +37,14 @@ type Pacemaker struct {
 
 // New creates a pacemaker starting at view 1 with the given view timer
 // duration and timeout-certificate quorum. The timer does not run
-// until Start is called.
+// until Start is called — view bookkeeping (AdvanceTo) works before
+// then, which is how restart bootstrap fast-forwards a replayed
+// replica to its pre-crash view without timers firing mid-replay.
 func New(timeout time.Duration, quorumSize int) *Pacemaker {
 	return &Pacemaker{
 		view:      1,
 		timeout:   timeout,
+		stopped:   true,
 		timeouts:  quorum.NewTimeouts(quorumSize),
 		timeoutCh: make(chan types.View, 8),
 	}

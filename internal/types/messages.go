@@ -93,10 +93,53 @@ type SyncRequestMsg struct {
 // forged history from a Byzantine peer fails certificate verification.
 // Head is the responder's committed height; an empty Blocks slice with
 // Head at or below the requester's height tells it catch-up is done.
+// Floor, when non-zero, is the lowest height the responder can still
+// serve: its ledger prefix below it was compacted away once a state
+// snapshot covered it. An empty response with Floor above the
+// requested height tells the requester that block-by-block catch-up
+// cannot bridge its gap and it must fall back to snapshot transfer.
 type SyncResponseMsg struct {
 	From   uint64
 	Blocks []*Block
 	Head   uint64
+	Floor  uint64
+}
+
+// SnapshotRequestMsg drives snapshot transfer, the catch-up path for
+// a replica whose gap outruns every peer's retained ledger prefix.
+// With Height zero it asks the peer for the manifest of its latest
+// state snapshot; with Height set it asks for chunk Chunk of the
+// snapshot at that height.
+type SnapshotRequestMsg struct {
+	Height uint64
+	Chunk  uint32
+}
+
+// SnapshotManifestMsg describes a peer's latest state snapshot: the
+// committed block header it anchors to (payload stripped), a quorum
+// certificate for that block, the canonical state serialization's
+// digest and size, and the per-chunk digests at the serving chunk
+// size. The manifest is the trust decision surface: a requester
+// cross-checks {Height, Block, StateDigest} across f+1 peers and
+// verifies the certificate before streaming a single chunk.
+type SnapshotManifestMsg struct {
+	Height      uint64
+	Block       *Block
+	QC          *QC
+	StateDigest Hash
+	TotalSize   uint64
+	ChunkSize   uint32
+	// ChunkDigests[i] hashes chunk i, letting the requester reject a
+	// tampered chunk on arrival instead of after the full stream.
+	ChunkDigests []Hash
+}
+
+// SnapshotChunkMsg carries one verified-size piece of a snapshot's
+// state serialization, answering a chunk-indexed SnapshotRequestMsg.
+type SnapshotChunkMsg struct {
+	Height uint64
+	Chunk  uint32
+	Data   []byte
 }
 
 // QueryMsg asks a replica for local state (committed height, metrics);

@@ -54,6 +54,15 @@ type Spec struct {
 	ZipfS float64 `json:"zipfS,omitempty"`
 	// ValueSize is the kv written value size in bytes (default 64).
 	ValueSize int `json:"valueSize,omitempty"`
+	// HotKeys and HotFraction dial contention into the kv mix: each
+	// command targets one of the first HotKeys keys (uniformly) with
+	// probability HotFraction, and falls back to the zipfian draw
+	// over the whole key space otherwise. HotFraction 0 disables the
+	// dial; 1 confines the workload to the hot set entirely. The hot
+	// draws come from the same seeded stream as everything else, so
+	// equal seeds still yield byte-identical command sequences.
+	HotKeys     int     `json:"hotKeys,omitempty"`
+	HotFraction float64 `json:"hotFraction,omitempty"`
 
 	// Accounts is the kvbank account count (default 64).
 	Accounts int `json:"accounts,omitempty"`
@@ -76,8 +85,17 @@ func (s Spec) Validate() error {
 	if s.ZipfS != 0 && s.ZipfS <= 1 {
 		return fmt.Errorf("workload: zipf s must exceed 1, have %v", s.ZipfS)
 	}
-	if s.Keys < 0 || s.ValueSize < 0 || s.Accounts < 0 {
+	if s.Keys < 0 || s.ValueSize < 0 || s.Accounts < 0 || s.HotKeys < 0 {
 		return fmt.Errorf("workload: negative size parameter")
+	}
+	if s.HotFraction < 0 || s.HotFraction > 1 {
+		return fmt.Errorf("workload: hot fraction %v outside [0,1]", s.HotFraction)
+	}
+	if s.HotFraction > 0 && s.HotKeys == 0 {
+		return fmt.Errorf("workload: hot fraction %v with no hot keys", s.HotFraction)
+	}
+	if s.Keys > 0 && s.HotKeys > s.Keys {
+		return fmt.Errorf("workload: %d hot keys exceed the %d-key space", s.HotKeys, s.Keys)
 	}
 	if s.Kind == KindKVBank && s.Accounts == 1 {
 		return fmt.Errorf("workload: kvbank needs at least 2 accounts")
@@ -128,7 +146,9 @@ func (n *noop) Next() []byte {
 	return n.template
 }
 
-// kv emits a read/write mix over a zipfian-popular key space.
+// kv emits a read/write mix over a zipfian-popular key space, with an
+// optional hot set that concentrates a configured fraction of the
+// commands onto the first hotKeys keys — the contention dial.
 type kv struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -137,6 +157,8 @@ type kv struct {
 	writes  float64
 	valSize int
 	payload int
+	hotKeys int
+	hotFrac float64
 }
 
 // NewKV builds the key-value mix generator from the spec.
@@ -153,6 +175,10 @@ func NewKV(s Spec, payload int, seed int64) Generator {
 	if valSize == 0 {
 		valSize = 64
 	}
+	hotKeys := s.HotKeys
+	if hotKeys > keys {
+		hotKeys = keys
+	}
 	rng := rand.New(rand.NewSource(seed))
 	return &kv{
 		rng:     rng,
@@ -161,6 +187,8 @@ func NewKV(s Spec, payload int, seed int64) Generator {
 		writes:  s.WriteRatio,
 		valSize: valSize,
 		payload: payload,
+		hotKeys: hotKeys,
+		hotFrac: s.HotFraction,
 	}
 }
 
@@ -169,7 +197,13 @@ func (k *kv) Name() string { return KindKV }
 func (k *kv) Next() []byte {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	key := fmt.Sprintf("key%08d", k.zipf.Uint64())
+	var idx uint64
+	if k.hotFrac > 0 && k.rng.Float64() < k.hotFrac {
+		idx = uint64(k.rng.Intn(k.hotKeys))
+	} else {
+		idx = k.zipf.Uint64()
+	}
+	key := fmt.Sprintf("key%08d", idx)
 	if k.rng.Float64() >= k.writes {
 		return kvstore.EncodeGet(key, k.payload)
 	}

@@ -32,6 +32,7 @@ func TestDeterminism(t *testing.T) {
 		{Kind: KindNoop},
 		{Kind: KindKV},
 		{Kind: KindKV, Keys: 64, WriteRatio: 0.9, ZipfS: 1.5, ValueSize: 16},
+		{Kind: KindKV, Keys: 64, WriteRatio: 0.5, HotKeys: 8, HotFraction: 0.6},
 		{Kind: KindKVBank},
 		{Kind: KindKVBank, Accounts: 8, InitialBalance: 10, MaxTransfer: 3},
 	}
@@ -122,6 +123,56 @@ func TestKVZipfSkew(t *testing.T) {
 	}
 }
 
+// TestKVHotKeyDial: the contention dial confines the declared
+// fraction of traffic to the hot set. At HotFraction 1 every command
+// targets a hot key, and — unlike the zipfian fallback, which piles
+// onto key 0 — the hot draws are uniform across the set, so the dial
+// shapes contention rather than just renaming the zipf head.
+func TestKVHotKeyDial(t *testing.T) {
+	const n = 4000
+	cmds := stream(t, Spec{Kind: KindKV, Keys: 1024, WriteRatio: 0.5,
+		HotKeys: 4, HotFraction: 1}, 0, 11, n)
+	counts := map[string]int{}
+	for _, cmd := range cmds {
+		key, _, _, ok := kvstore.Decode(cmd)
+		if !ok {
+			t.Fatal("undecodable command")
+		}
+		counts[key]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("HotFraction 1 touched %d keys, want exactly the 4 hot ones", len(counts))
+	}
+	for key, c := range counts {
+		// Uniform would be 25%; leave wide slack against rng noise
+		// while still ruling out the zipfian head-heavy shape.
+		if c < n/10 || c > n/2 {
+			t.Fatalf("hot key %s drew %d of %d — not uniform across the hot set", key, c, n)
+		}
+	}
+
+	// A partial fraction mixes: hot keys dominate but the cold tail
+	// still appears.
+	cmds = stream(t, Spec{Kind: KindKV, Keys: 1024, WriteRatio: 0.5,
+		HotKeys: 4, HotFraction: 0.5, ZipfS: 1.01}, 0, 11, n)
+	cold := 0
+	for _, cmd := range cmds {
+		key, _, _, ok := kvstore.Decode(cmd)
+		if !ok {
+			t.Fatal("undecodable command")
+		}
+		if key >= "key00000004" {
+			cold++
+		}
+	}
+	if cold == 0 {
+		t.Fatal("HotFraction 0.5 left no cold traffic")
+	}
+	if cold > n*3/4 {
+		t.Fatalf("cold traffic %d of %d — hot fraction not applied", cold, n)
+	}
+}
+
 // TestKVBankConservation applies kvbank streams to a store — in
 // generation order, shuffled, and as a thinned subset (modelling lost
 // and reordered commits under faults) — and audits conservation of
@@ -163,6 +214,27 @@ func TestKVBankConservation(t *testing.T) {
 }
 
 // TestSpecValidate rejects malformed specs.
+// TestHotKeySpecValidate: the contention dial's malformed shapes fail
+// loudly instead of running a quietly wrong experiment.
+func TestHotKeySpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Kind: KindKV, HotFraction: 1.5, HotKeys: 4},
+		{Kind: KindKV, HotFraction: -0.1, HotKeys: 4},
+		{Kind: KindKV, HotFraction: 0.5}, // fraction without a hot set
+		{Kind: KindKV, HotKeys: -1},
+		{Kind: KindKV, Keys: 8, HotKeys: 9}, // hot set wider than the space
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad hot-key spec %d accepted: %+v", i, s)
+		}
+	}
+	good := Spec{Kind: KindKV, Keys: 64, HotKeys: 64, HotFraction: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid hot-key spec rejected: %v", err)
+	}
+}
+
 func TestSpecValidate(t *testing.T) {
 	bad := []Spec{
 		{Kind: "stream"},
