@@ -9,6 +9,7 @@
 //
 //	bamboo-bench [-scale 0.25] [-seed 1] [-json dir] table2 fig8 ... | all
 //	bamboo-bench -run scenario.json [-backend tcp] [-json dir]
+//	bamboo-bench -wire [-json dir]
 //
 // -scale 1 runs paper-like durations; smaller values shrink every
 // warmup/measurement window proportionally. -json writes one
@@ -22,6 +23,11 @@
 // sockets, overriding the scenario's own backend — the same file must
 // yield a consistent Result on either, which is exactly what the
 // tcp-smoke CI job asserts.
+//
+// -wire runs the wire-codec micro-benchmarks (binary codec vs the
+// retained gob reference, over the hot-path message mix) and, with
+// -json, writes the structured report as BENCH_wire.json — the file
+// the perf-smoke CI job gates on.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/bench"
+	"github.com/bamboo-bft/bamboo/internal/codec/wirebench"
 	"github.com/bamboo-bft/bamboo/internal/harness"
 )
 
@@ -67,10 +74,12 @@ func main() {
 		jsonDir  = flag.String("json", "", "directory for BENCH_<experiment>.json result files")
 		scenario = flag.String("run", "", "JSON scenario (Experiment) file to run instead of named experiments")
 		backend  = flag.String("backend", "", `transport backend: "switch" (in-process, default) or "tcp" (loopback sockets)`)
+		wire     = flag.Bool("wire", false, "run the wire-codec micro-benchmarks (binary codec vs gob reference)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bamboo-bench [flags] <experiment>... | all\n")
-		fmt.Fprintf(os.Stderr, "       bamboo-bench -run scenario.json [-backend tcp]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "       bamboo-bench -run scenario.json [-backend tcp]\n")
+		fmt.Fprintf(os.Stderr, "       bamboo-bench -wire [-json dir]\n\nexperiments:\n")
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-20s %s\n", e.name, e.desc)
 		}
@@ -89,6 +98,15 @@ func main() {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
 			log.Fatalf("bamboo-bench: %v", err)
 		}
+	}
+	if *wire {
+		if *scenario != "" || len(args) > 0 {
+			log.Fatalf("bamboo-bench: -wire runs alone; drop other experiments")
+		}
+		if err := runWire(*jsonDir); err != nil {
+			log.Fatalf("bamboo-bench: %v", err)
+		}
+		return
 	}
 	if *scenario != "" {
 		if len(args) > 0 {
@@ -156,6 +174,34 @@ func main() {
 			log.Fatalf("bamboo-bench: %v", err)
 		}
 	}
+}
+
+// runWire benchmarks the binary wire codec against the retained gob
+// reference over the hot-path message mix and, with a -json dir,
+// writes the report as BENCH_wire.json.
+func runWire(jsonDir string) error {
+	fmt.Printf("=== wire: binary codec vs gob reference ===\n")
+	start := time.Now()
+	rep := wirebench.Run(os.Stdout)
+	s := rep.Summary
+	fmt.Printf("=== wire done in %v ===\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("mix (encode+decode one of each fixture): wire %.0f ns, gob %.0f ns -> %.1fx faster\n",
+		s.WireNsPerMix, s.GobNsPerMix, s.SpeedupX)
+	fmt.Printf("mix allocations: wire %d, gob %d -> %.1fx fewer\n",
+		s.WireAllocsPerMix, s.GobAllocsPerMix, s.AllocRatioX)
+	if jsonDir == "" {
+		return nil
+	}
+	path := filepath.Join(jsonDir, "BENCH_wire.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal wire report: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases)\n", path, len(rep.Cases))
+	return nil
 }
 
 // writeResults exports one experiment's structured results as

@@ -1,0 +1,33 @@
+package codec_test
+
+// The benchmark bodies live in the wirebench package so the CI perf
+// gate (bamboo-bench -wire, via testing.Benchmark) and these -bench
+// entry points measure identical loops. This file is the external test
+// package: wirebench imports codec, so in-package benchmarks would be
+// an import cycle.
+
+import (
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/codec/wirebench"
+)
+
+// BenchmarkEncodePerMessage measures one-frame encode cost for the
+// hot-path message mix, for the binary wire codec and the retained gob
+// reference.
+func BenchmarkEncodePerMessage(b *testing.B) {
+	for _, fix := range wirebench.Fixtures() {
+		b.Run(fix.Name+"/wire", func(b *testing.B) { wirebench.BenchEncodeWire(b, fix.Msg) })
+		b.Run(fix.Name+"/gob", func(b *testing.B) { wirebench.BenchEncodeGob(b, fix.Msg) })
+	}
+}
+
+// BenchmarkDecodePerMessage measures one-frame decode cost for the
+// hot-path message mix, for the binary wire codec and the retained gob
+// reference.
+func BenchmarkDecodePerMessage(b *testing.B) {
+	for _, fix := range wirebench.Fixtures() {
+		b.Run(fix.Name+"/wire", func(b *testing.B) { wirebench.BenchDecodeWire(b, fix.Msg) })
+		b.Run(fix.Name+"/gob", func(b *testing.B) { wirebench.BenchDecodeGob(b, fix.Msg) })
+	}
+}

@@ -12,12 +12,25 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
+// encodeFrame writes one envelope and flushes, returning the frame's
+// reported wire size.
+func encodeFrame(t *testing.T, buf *bytes.Buffer, env Envelope) int {
+	t.Helper()
+	enc := NewEncoder(buf)
+	n, err := enc.Encode(env)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return n
+}
+
 func roundTrip(t *testing.T, msg any) any {
 	t.Helper()
 	var buf bytes.Buffer
-	if _, err := NewEncoder(&buf).Encode(Envelope{From: 3, Msg: msg}); err != nil {
-		t.Fatalf("encode: %v", err)
-	}
+	encodeFrame(t, &buf, Envelope{From: 3, Msg: msg})
 	env, err := NewDecoder(&buf).Decode()
 	if err != nil {
 		t.Fatalf("decode: %v", err)
@@ -60,27 +73,6 @@ func TestProposalRoundTrip(t *testing.T) {
 	}
 }
 
-func TestAllMessageKindsRoundTrip(t *testing.T) {
-	qc := &types.QC{View: 1, BlockID: types.Hash{5}, Signers: []types.NodeID{1}, Sigs: [][]byte{{1}}}
-	msgs := []any{
-		types.VoteMsg{Vote: &types.Vote{View: 2, BlockID: types.Hash{3}, Voter: 1, Sig: []byte{1}}},
-		types.TimeoutMsg{Timeout: &types.Timeout{View: 2, Voter: 1, HighQC: qc, Sig: []byte{2}}},
-		types.TCMsg{TC: &types.TC{View: 2, Signers: []types.NodeID{1, 2, 3}, Sigs: [][]byte{{1}, {2}, {3}}, HighQC: qc}},
-		types.RequestMsg{Tx: types.Transaction{ID: types.TxID{Client: 1, Seq: 2}, Command: []byte("x")}},
-		types.SyncRequestMsg{From: 17, To: 80},
-		types.ReplyMsg{TxID: types.TxID{Client: 1, Seq: 2}, View: 7, BlockID: types.Hash{1}},
-		types.QueryMsg{Height: 11},
-		types.QueryReplyMsg{CommittedHeight: 11, CommittedView: 12, BlockHash: types.Hash{2}},
-		types.SlowMsg{DelayMeanNanos: 100, DelayStdNanos: 10},
-	}
-	for _, m := range msgs {
-		got := roundTrip(t, m)
-		if !reflect.DeepEqual(got, m) {
-			t.Errorf("%T mangled: got %+v want %+v", m, got, m)
-		}
-	}
-}
-
 // TestSyncResponseRoundTrip: catch-up batches carry whole certified
 // blocks; identity, certificate, and payload must survive the wire,
 // because the receiver re-verifies all three.
@@ -112,8 +104,10 @@ func TestSyncResponseRoundTrip(t *testing.T) {
 }
 
 func TestStreamOfMessages(t *testing.T) {
-	// A single encoder/decoder pair must survive many messages on
-	// one stream, as the TCP transport keeps connections open.
+	// A single encoder/decoder pair must survive many messages on one
+	// stream, as the TCP transport keeps connections open — and many
+	// Encodes behind one Flush is exactly the transport's write
+	// coalescing path.
 	var buf bytes.Buffer
 	enc := NewEncoder(&buf)
 	const count = 100
@@ -122,6 +116,9 @@ func TestStreamOfMessages(t *testing.T) {
 		if _, err := enc.Encode(Envelope{From: 1, Msg: msg}); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	dec := NewDecoder(&buf)
 	for i := 0; i < count; i++ {
@@ -140,9 +137,55 @@ func TestStreamOfMessages(t *testing.T) {
 }
 
 func TestDecodeCorruptStream(t *testing.T) {
-	buf := bytes.NewBufferString("this is not gob")
+	buf := bytes.NewBufferString("this is not a frame")
 	if _, err := NewDecoder(buf).Decode(); err == nil || err == io.EOF {
 		t.Fatalf("corrupt stream must fail loudly, got %v", err)
+	}
+}
+
+// TestDecodeSkipsMalformedFrame: a frame that announces a sane length
+// but carries garbage costs exactly that frame — the decoder consumes
+// it, reports a Recoverable error, and the next frame decodes fine.
+// This is the property that lets the transport drop one message
+// instead of the connection.
+func TestDecodeSkipsMalformedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	// A well-framed payload with an unknown tag.
+	payload := []byte{types.WireVersion, 0xEE, 1, 0, 0, 0, 42}
+	hdr := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	buf.Write(hdr)
+	buf.Write(payload)
+	// A well-framed vote with a truncated body (announces more signer
+	// bytes than the frame holds).
+	bad := []byte{types.WireVersion, byte(types.TagVote), 1, 0, 0, 0, 1, 99, 99}
+	buf.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(bad))))
+	buf.Write(bad)
+	// A wrong-version frame.
+	verbad := []byte{99, byte(types.TagQuery), 1, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}
+	buf.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(verbad))))
+	buf.Write(verbad)
+	// Finally a healthy frame.
+	encodeFrame(t, &buf, Envelope{From: 7, Msg: types.QueryMsg{Height: 5}})
+
+	dec := NewDecoder(&buf)
+	for i, want := range []error{ErrUnknownTag, ErrBadFrame, ErrBadVersion} {
+		_, err := dec.Decode()
+		if !errors.Is(err, want) {
+			t.Fatalf("frame %d: want %v, got %v", i, want, err)
+		}
+		if !Recoverable(err) {
+			t.Fatalf("frame %d: %v must be Recoverable", i, err)
+		}
+	}
+	env, err := dec.Decode()
+	if err != nil {
+		t.Fatalf("healthy frame after damage: %v", err)
+	}
+	if q, ok := env.Msg.(types.QueryMsg); !ok || q.Height != 5 || env.From != 7 {
+		t.Fatalf("healthy frame mangled: %+v", env)
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
 	}
 }
 
@@ -153,7 +196,11 @@ func TestRequestRoundTripQuick(t *testing.T) {
 			ID: types.TxID{Client: client, Seq: seq}, Command: cmd, SubmitUnixNano: ts,
 		}}
 		var buf bytes.Buffer
-		if _, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg}); err != nil {
+		enc := NewEncoder(&buf)
+		if _, err := enc.Encode(Envelope{From: 1, Msg: msg}); err != nil {
+			return false
+		}
+		if err := enc.Flush(); err != nil {
 			return false
 		}
 		env, err := NewDecoder(&buf).Decode()
@@ -164,7 +211,7 @@ func TestRequestRoundTripQuick(t *testing.T) {
 		if !ok {
 			return false
 		}
-		// gob collapses empty and nil slices; normalize.
+		// The codec normalizes empty and nil byte fields to nil.
 		if len(cmd) == 0 {
 			return got.Tx.ID == msg.Tx.ID && len(got.Tx.Command) == 0 && got.Tx.SubmitUnixNano == ts
 		}
@@ -175,20 +222,36 @@ func TestRequestRoundTripQuick(t *testing.T) {
 	}
 }
 
-// TestEncodeRejectsOversizedMessage: a message whose gob form exceeds
+// TestEncodeRejectsOversizedMessage: a message whose encoding exceeds
 // MaxFrame must fail at the sender with ErrFrameTooLarge and write
-// nothing to the stream — the receiver never sees a byte of it.
+// nothing to the stream — and because the size check runs before any
+// byte is staged, the stream (and its connection) stays usable.
 func TestEncodeRejectsOversizedMessage(t *testing.T) {
 	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
 	huge := types.RequestMsg{Tx: types.Transaction{
 		ID: types.TxID{Client: 1, Seq: 1}, Command: make([]byte, MaxFrame+1),
 	}}
-	_, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: huge})
+	_, err := enc.Encode(Envelope{From: 1, Msg: huge})
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)
 	}
-	if buf.Len() != 0 {
-		t.Fatalf("oversized frame leaked %d bytes onto the stream", buf.Len())
+	if !Recoverable(err) {
+		t.Fatal("sender-side oversize must be Recoverable (conn survives)")
+	}
+	// The same encoder keeps working.
+	if _, err := enc.Encode(Envelope{From: 1, Msg: types.QueryMsg{Height: 1}}); err != nil {
+		t.Fatalf("encoder poisoned by oversized message: %v", err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatalf("stream after oversized reject: %v", err)
+	}
+	if _, ok := env.Msg.(types.QueryMsg); !ok {
+		t.Fatalf("unexpected message %T", env.Msg)
 	}
 }
 
@@ -197,13 +260,40 @@ func TestEncodeRejectsOversizedMessage(t *testing.T) {
 // hostile length prefix cannot commit the reader to gigabytes.
 func TestDecodeRejectsOversizedFrame(t *testing.T) {
 	var buf bytes.Buffer
-	hdr := make([]byte, binary.MaxVarintLen64)
-	n := binary.PutUvarint(hdr, uint64(MaxFrame)+1)
-	buf.Write(hdr[:n])
-	buf.WriteString("payload that must never be read")
+	hdr := binary.LittleEndian.AppendUint32(nil, uint32(MaxFrame)+1)
+	buf.Write(hdr)
+	buf.WriteString("payload that must never be parsed")
 	_, err := NewDecoder(&buf).Decode()
-	if !errors.Is(err, ErrFrameTooLarge) {
-		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	if errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("announced bytes never arrived; the stream is dead, not recoverable")
+	}
+	if err == nil || err == io.EOF {
+		t.Fatalf("oversized announcement must fail loudly, got %v", err)
+	}
+}
+
+// TestDecodeSkipsOversizedFrameThenContinues: when the announced
+// oversized bytes ARE all present on the stream, the decoder discards
+// exactly that frame and keeps going — one lost message, not a lost
+// connection.
+func TestDecodeSkipsOversizedFrameThenContinues(t *testing.T) {
+	var buf bytes.Buffer
+	over := MaxFrame + 10
+	buf.Write(binary.LittleEndian.AppendUint32(nil, uint32(over)))
+	buf.Write(make([]byte, over))
+	encodeFrame(t, &buf, Envelope{From: 2, Msg: types.QueryMsg{Height: 9}})
+
+	dec := NewDecoder(&buf)
+	_, err := dec.Decode()
+	if !errors.Is(err, ErrFrameTooLarge) || !Recoverable(err) {
+		t.Fatalf("want recoverable ErrFrameTooLarge, got %v", err)
+	}
+	env, err := dec.Decode()
+	if err != nil {
+		t.Fatalf("frame after oversized skip: %v", err)
+	}
+	if q, ok := env.Msg.(types.QueryMsg); !ok || q.Height != 9 {
+		t.Fatalf("frame after skip mangled: %+v", env)
 	}
 }
 
@@ -218,10 +308,7 @@ func TestLargeLegalMessageRoundTrips(t *testing.T) {
 		ID: types.TxID{Client: 1, Seq: 1}, Command: payload,
 	}}
 	var buf bytes.Buffer
-	n, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg})
-	if err != nil {
-		t.Fatal(err)
-	}
+	n := encodeFrame(t, &buf, Envelope{From: 1, Msg: msg})
 	if n != buf.Len() {
 		t.Fatalf("Encode reported %d bytes, stream holds %d", n, buf.Len())
 	}
@@ -235,20 +322,46 @@ func TestLargeLegalMessageRoundTrips(t *testing.T) {
 	}
 }
 
-func BenchmarkEncodeProposal400(b *testing.B) {
-	payload := make([]types.Transaction, 400)
-	for i := range payload {
-		payload[i] = types.Transaction{ID: types.TxID{Client: 1, Seq: uint64(i)}, Command: make([]byte, 128)}
+// TestPoolDropsOversizedBuffers: buffer capacity policy lives in the
+// pool's lifecycle — Put drops a buffer an oversized frame grew past
+// shrinkCap, and retains ordinary ones.
+func TestPoolDropsOversizedBuffers(t *testing.T) {
+	big := make([]byte, 0, shrinkCap+1)
+	if putBuf(&big) {
+		t.Fatal("a multi-MiB buffer must not be retained by the pool")
 	}
-	block := &types.Block{View: 1, Proposer: 1, QC: types.GenesisQC(), Payload: payload}
-	var buf bytes.Buffer
-	enc := NewEncoder(&buf)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf.Reset()
-		if _, err := enc.Encode(Envelope{From: 1, Msg: types.ProposalMsg{Block: block}}); err != nil {
-			b.Fatal(err)
+	small := make([]byte, 0, 4096)
+	if !putBuf(&small) {
+		t.Fatal("an ordinary buffer must be recycled")
+	}
+}
+
+// TestEncodeMultiMiBBatchDoesNotPinCapacity: after encoding a
+// multi-MiB sync batch, the pool hands out buffers at ordinary
+// capacity — the batch's high-water backing array was dropped at Put,
+// not kept pinned for the connection's lifetime.
+func TestEncodeMultiMiBBatchDoesNotPinCapacity(t *testing.T) {
+	blocks := make([]*types.Block, 8)
+	for i := range blocks {
+		txs := make([]types.Transaction, 64)
+		for j := range txs {
+			txs[j] = types.Transaction{ID: types.TxID{Client: 1, Seq: uint64(j)}, Command: make([]byte, 8<<10)}
 		}
+		blocks[i] = &types.Block{View: types.View(i), Proposer: 1, Payload: txs}
+	}
+	msg := types.SyncResponseMsg{Blocks: blocks, Head: 8}
+	if n, ok := EncodedSize(msg); !ok || n <= shrinkCap {
+		t.Fatalf("fixture too small to exercise the shrink path: %d", n)
+	}
+	enc := NewEncoder(io.Discard)
+	if _, err := enc.Encode(Envelope{From: 1, Msg: msg}); err != nil {
+		t.Fatal(err)
+	}
+	// Only putBuf feeds the pool, and it filters by capacity, so any
+	// buffer the pool hands back now is below the shrink threshold.
+	bp := getBuf(64)
+	defer putBuf(bp)
+	if cap(*bp) > shrinkCap {
+		t.Fatalf("pool retained a %d-byte backing array past shrinkCap", cap(*bp))
 	}
 }

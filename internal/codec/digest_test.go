@@ -31,9 +31,7 @@ func TestDigestProposalRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if _, err := NewEncoder(&buf).Encode(Envelope{From: 2, Msg: msg}); err != nil {
-		t.Fatal(err)
-	}
+	encodeFrame(t, &buf, Envelope{From: 2, Msg: msg})
 	env, err := NewDecoder(&buf).Decode()
 	if err != nil {
 		t.Fatal(err)
@@ -69,9 +67,7 @@ func TestPayloadBatchRoundTrip(t *testing.T) {
 		{ID: types.TxID{Client: 1, Seq: 2}, Command: []byte("bb")},
 	}}
 	var buf bytes.Buffer
-	if _, err := NewEncoder(&buf).Encode(Envelope{From: 1, Msg: msg}); err != nil {
-		t.Fatal(err)
-	}
+	encodeFrame(t, &buf, Envelope{From: 1, Msg: msg})
 	env, err := NewDecoder(&buf).Decode()
 	if err != nil {
 		t.Fatal(err)

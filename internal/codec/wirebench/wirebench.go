@@ -1,0 +1,256 @@
+package wirebench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/codec"
+)
+
+// The benchmark bodies below are shared between `go test -bench`
+// (internal/codec's Benchmark{Encode,Decode}PerMessage sub-benchmarks)
+// and the programmatic Run used by `bamboo-bench -wire`, so the CI
+// perf gate and an engineer's ad-hoc -bench run measure identical
+// loops.
+
+// BenchEncodeWire measures the binary codec encoding msg, one frame
+// per op, into a discarded stream (bufio flushes as it fills — the
+// write-coalescing path, not a syscall per message).
+func BenchEncodeWire(b *testing.B, msg any) {
+	enc := codec.NewEncoder(io.Discard)
+	env := codec.Envelope{From: 1, Msg: msg}
+	n, ok := codec.EncodedSize(msg)
+	if !ok {
+		b.Fatalf("%T not in wire registry", msg)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// loopReader serves one encoded frame cyclically, forever. The binary
+// codec's frames are stateless, so a single decoder can drain it —
+// there is deliberately no per-iteration decoder setup in the loop.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+// BenchDecodeWire measures the binary codec decoding msg, one frame
+// per op, from an endless stream of identical frames.
+func BenchDecodeWire(b *testing.B, msg any) {
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(&buf)
+	if _, err := enc.Encode(codec.Envelope{From: 1, Msg: msg}); err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	dec := codec.NewDecoder(&loopReader{data: buf.Bytes()})
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchEncodeGob measures the reference gob codec encoding msg. The
+// encoder lives across iterations, so gob's per-stream type dictionary
+// is amortized exactly as it was on a long-lived connection.
+func BenchEncodeGob(b *testing.B, msg any) {
+	enc := NewGobEncoder(io.Discard)
+	env := codec.Envelope{From: 1, Msg: msg}
+	// Steady-state frame size: the first frame also carries the type
+	// dictionary, so size the throughput figure from a second frame.
+	b.SetBytes(int64(gobSteadyFrameSize(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gobStreamBudget bounds the pre-encoded stream BenchDecodeGob decodes
+// from; the stream is recycled (fresh decoder, dictionary re-parsed)
+// when it runs out, amortized over the frames that fit the budget.
+const gobStreamBudget = 4 << 20
+
+// BenchDecodeGob measures the reference gob codec decoding msg from a
+// pre-encoded multi-frame stream. Gob frames are stream-stateful, so
+// the decoder must be rebuilt whenever the stream restarts — that
+// periodic cost is part of the measurement, amortized over at least 16
+// frames (more for small messages), as on a real connection carrying
+// bounded batches.
+func BenchDecodeGob(b *testing.B, msg any) {
+	env := codec.Envelope{From: 1, Msg: msg}
+	var stream bytes.Buffer
+	enc := NewGobEncoder(&stream)
+	frames := 0
+	for stream.Len() < gobStreamBudget || frames < 16 {
+		if _, err := enc.Encode(env); err != nil {
+			b.Fatal(err)
+		}
+		frames++
+	}
+	data := stream.Bytes()
+	dec := NewGobDecoder(bytes.NewReader(data))
+	left := frames
+	b.SetBytes(int64(gobSteadyFrameSize(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if left == 0 {
+			dec = NewGobDecoder(bytes.NewReader(data))
+			left = frames
+		}
+		if _, err := dec.Decode(); err != nil {
+			b.Fatal(err)
+		}
+		left--
+	}
+}
+
+// gobSteadyFrameSize returns the on-wire size of msg's gob frame once
+// the stream's type dictionary has been sent.
+func gobSteadyFrameSize(msg any) int {
+	enc := NewGobEncoder(io.Discard)
+	env := codec.Envelope{From: 1, Msg: msg}
+	if _, err := enc.Encode(env); err != nil {
+		return 0
+	}
+	n, err := enc.Encode(env)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Case is one measured (fixture, codec, op) cell of the report.
+type Case struct {
+	Fixture         string  `json:"fixture"`
+	Codec           string  `json:"codec"` // "wire" or "gob"
+	Op              string  `json:"op"`    // "encode" or "decode"
+	FrameBytes      int     `json:"frame_bytes"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	MBPerSec        float64 `json:"mb_per_s"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	AllocBytesPerOp int64   `json:"alloc_bytes_per_op"`
+	N               int     `json:"n"`
+}
+
+// Summary aggregates the hot-path mix: total nanoseconds and
+// allocations to encode+decode one of each fixture — one committed
+// block's worth of wire work — under each codec, and the resulting
+// ratios the CI gate checks.
+type Summary struct {
+	WireNsPerMix     float64 `json:"wire_ns_per_mix"`
+	GobNsPerMix      float64 `json:"gob_ns_per_mix"`
+	SpeedupX         float64 `json:"speedup_x"`
+	WireAllocsPerMix int64   `json:"wire_allocs_per_mix"`
+	GobAllocsPerMix  int64   `json:"gob_allocs_per_mix"`
+	AllocRatioX      float64 `json:"alloc_ratio_x"`
+}
+
+// Report is the BENCH_wire.json payload.
+type Report struct {
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Cases     []Case  `json:"cases"`
+	Summary   Summary `json:"summary"`
+}
+
+// Run benchmarks every fixture under both codecs and both directions,
+// returning the structured report. Progress lines go to w (pass nil to
+// run quietly); each cell takes the standard testing.Benchmark
+// auto-sizing time (~1s).
+func Run(w io.Writer) *Report {
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	type bench struct {
+		codec string
+		op    string
+		fn    func(*testing.B, any)
+	}
+	benches := []bench{
+		{"wire", "encode", BenchEncodeWire},
+		{"wire", "decode", BenchDecodeWire},
+		{"gob", "encode", BenchEncodeGob},
+		{"gob", "decode", BenchDecodeGob},
+	}
+	for _, fix := range Fixtures() {
+		wireSize, _ := codec.EncodedSize(fix.Msg)
+		for _, bn := range benches {
+			frame := wireSize
+			if bn.codec == "gob" {
+				frame = gobSteadyFrameSize(fix.Msg)
+			}
+			msg := fix.Msg
+			r := testing.Benchmark(func(b *testing.B) { bn.fn(b, msg) })
+			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			c := Case{
+				Fixture:         fix.Name,
+				Codec:           bn.codec,
+				Op:              bn.op,
+				FrameBytes:      frame,
+				NsPerOp:         nsPerOp,
+				MBPerSec:        float64(frame) / nsPerOp * 1e3,
+				AllocsPerOp:     r.AllocsPerOp(),
+				AllocBytesPerOp: r.AllocedBytesPerOp(),
+				N:               r.N,
+			}
+			rep.Cases = append(rep.Cases, c)
+			if w != nil {
+				fmt.Fprintf(w, "%-18s %-4s %-6s %9.0f ns/op %8.1f MB/s %6d allocs/op %9d B/op\n",
+					c.Fixture, c.Codec, c.Op, c.NsPerOp, c.MBPerSec, c.AllocsPerOp, c.AllocBytesPerOp)
+			}
+		}
+	}
+	for _, c := range rep.Cases {
+		switch c.Codec {
+		case "wire":
+			rep.Summary.WireNsPerMix += c.NsPerOp
+			rep.Summary.WireAllocsPerMix += c.AllocsPerOp
+		case "gob":
+			rep.Summary.GobNsPerMix += c.NsPerOp
+			rep.Summary.GobAllocsPerMix += c.AllocsPerOp
+		}
+	}
+	if rep.Summary.WireNsPerMix > 0 {
+		rep.Summary.SpeedupX = rep.Summary.GobNsPerMix / rep.Summary.WireNsPerMix
+	}
+	if rep.Summary.WireAllocsPerMix > 0 {
+		rep.Summary.AllocRatioX = float64(rep.Summary.GobAllocsPerMix) / float64(rep.Summary.WireAllocsPerMix)
+	}
+	return rep
+}

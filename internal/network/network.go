@@ -7,6 +7,7 @@
 package network
 
 import (
+	"github.com/bamboo-bft/bamboo/internal/codec"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -70,72 +71,19 @@ func (s *TransportStats) Add(other TransportStats) {
 	s.Accepted += other.Accepted
 }
 
-// messageSize estimates the wire size of a message for bandwidth
-// modelling. Votes/timeouts are small and fixed; proposals implement
-// Sizer through their block.
+// messageSize returns the wire size of a message for bandwidth
+// modelling. Every registered protocol message is charged its exact
+// framed size from the codec — the same bytes the TCP transport
+// counts when it writes the frame — so the switch's bandwidth model
+// and TransportStats agree between backends by construction instead
+// of by hand-maintained estimates. Unregistered values (test traffic,
+// extensions) fall back to Sizer or a fixed header cost.
 func messageSize(msg any) int {
-	switch m := msg.(type) {
-	case types.ProposalMsg:
-		if m.Block != nil {
-			// Digest proposals carry the 32-byte payload digest plus
-			// 16-byte transaction IDs instead of full transactions —
-			// the bandwidth saving the data-plane split buys.
-			// (Block.Size covers the header; the digest is charged
-			// here since only stripped proposals depend on it.)
-			n := m.Block.Size() + 16*len(m.PayloadIDs)
-			if len(m.PayloadIDs) > 0 {
-				n += 32
-			}
-			return n
-		}
-	case types.VoteMsg:
-		return 150 // view + hash + id + signature
-	case types.TimeoutMsg:
-		if m.Timeout != nil && m.Timeout.HighQC != nil {
-			return 150 + 100*len(m.Timeout.HighQC.Signers)
-		}
-		return 150
-	case types.TCMsg:
-		if m.TC != nil {
-			return 100 * (len(m.TC.Signers) + 1)
-		}
-	case types.RequestMsg:
-		return m.Tx.Size()
-	case types.PayloadBatchMsg:
-		n := 16
-		for i := range m.Txs {
-			n += m.Txs[i].Size()
-		}
+	if n, ok := codec.EncodedSize(msg); ok {
 		return n
-	case types.SyncRequestMsg:
-		return 24 // two heights plus framing
-	case types.SyncResponseMsg:
-		n := 32
-		for _, b := range m.Blocks {
-			if b != nil {
-				n += b.Size()
-			}
-		}
-		return n
-	case types.SnapshotRequestMsg:
-		return 20 // height, chunk index, framing
-	case types.SnapshotManifestMsg:
-		n := 64 + 32*len(m.ChunkDigests)
-		if m.Block != nil {
-			n += m.Block.Size()
-		}
-		if m.QC != nil {
-			n += 8 + 32
-			for _, s := range m.QC.Sigs {
-				n += 4 + len(s)
-			}
-			n += 4 * len(m.QC.Signers)
-		}
-		return n
-	case types.SnapshotChunkMsg:
-		return 20 + len(m.Data)
-	case Sizer:
-		return m.Size()
+	}
+	if s, ok := msg.(Sizer); ok {
+		return s.Size()
 	}
 	return 64
 }

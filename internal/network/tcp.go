@@ -29,8 +29,14 @@ const (
 )
 
 // TCP is a Transport connecting replicas over persistent TCP
-// connections with length-prefixed gob framing — the deployment path
-// for multi-machine experiments. It carries no condition model itself:
+// connections carrying the codec's self-delimiting binary frames —
+// the deployment path for multi-machine experiments. Outbound writes
+// coalesce: a writer drains its whole pending queue through the
+// encoder and flushes once, so a burst of votes costs one syscall
+// instead of one per message. Because frames are stateless, a
+// malformed or oversized frame (either direction) costs one message,
+// counted in TransportStats.Dropped — never the connection.
+// It carries no condition model itself:
 // wrap it in Condition to give a scheduled scenario's partitions,
 // delays, and drops the same meaning they have on the in-process
 // switch, or use it bare to observe the real network.
@@ -199,9 +205,17 @@ func (t *TCP) readLoop(conn net.Conn) {
 	for {
 		env, err := dec.Decode()
 		if err != nil {
-			// Clean EOF, reset, or a framing violation (oversized
-			// frame, garbage): either way the stream is dead; the
-			// sender re-dials if it still cares.
+			if codec.Recoverable(err) {
+				// A malformed or oversized frame costs exactly that
+				// frame: count the lost message and keep serving the
+				// connection. Tearing it down here would hand a
+				// hostile peer a dial-storm lever and an honest bug a
+				// reconnect tax.
+				t.dropped.Add(1)
+				continue
+			}
+			// Clean EOF, reset, or a truncated stream: the connection
+			// is dead; the sender re-dials if it still cares.
 			return
 		}
 		select {
@@ -263,7 +277,12 @@ func (t *TCP) getPeer(to types.NodeID) *tcpPeer {
 // writeLoop drains one peer's queue over a lazily (re)dialed
 // connection. Failed dials back off for dialCooldown (dropping queued
 // messages meanwhile) so an unreachable peer is probed at a bounded
-// rate instead of once per message.
+// rate instead of once per message. Writes coalesce: after the
+// blocking receive that starts a batch, the loop opportunistically
+// drains whatever else is queued through the encoder and flushes
+// once — under consensus bursts (a proposal plus its fan-out of
+// votes and payload batches) that collapses per-message syscalls
+// into one buffered write.
 func (t *TCP) writeLoop(to types.NodeID, peer *tcpPeer) {
 	defer t.wg.Done()
 	var conn net.Conn
@@ -277,6 +296,22 @@ func (t *TCP) writeLoop(to types.NodeID, peer *tcpPeer) {
 		}
 	}
 	defer closeConn()
+	// encode stages one message on the open connection. A recoverable
+	// codec error (oversized or unregistered message) costs only that
+	// message — frames are stateless, so the stream stays aligned and
+	// the connection survives. An I/O error kills the connection.
+	encode := func(msg any) {
+		n, err := enc.Encode(codec.Envelope{From: t.self, Msg: msg})
+		if err != nil {
+			t.dropped.Add(1)
+			if !codec.Recoverable(err) {
+				closeConn()
+			}
+			return
+		}
+		t.msgs.Add(1)
+		t.bytes.Add(uint64(n))
+	}
 	for {
 		var msg any
 		select {
@@ -323,18 +358,28 @@ func (t *TCP) writeLoop(to types.NodeID, peer *tcpPeer) {
 			t.dials.Add(1)
 			conn, enc = c, codec.NewEncoder(c)
 		}
-		n, err := enc.Encode(codec.Envelope{From: t.self, Msg: msg})
-		if err != nil {
-			// Write failure or an oversized frame. Either way the gob
-			// stream can no longer be trusted (its type dictionary may
-			// have advanced past what the peer saw), so the connection
-			// goes with the message.
-			t.dropped.Add(1)
-			closeConn()
-			continue
+		encode(msg)
+		// Drain the backlog into the same buffered write before
+		// flushing. The encoder's own buffer bounds memory; a dead
+		// connection (conn == nil) stops the batch and the remaining
+		// queue re-dials on the next outer iteration.
+	coalesce:
+		for conn != nil {
+			select {
+			case msg = <-peer.outbound:
+				encode(msg)
+			default:
+				break coalesce
+			}
 		}
-		t.msgs.Add(1)
-		t.bytes.Add(uint64(n))
+		if conn != nil {
+			if err := enc.Flush(); err != nil {
+				// The batch's messages were already counted as sent;
+				// like bytes parked in a kernel buffer at reset time,
+				// their fate is unknowable. The connection is not.
+				closeConn()
+			}
+		}
 	}
 }
 

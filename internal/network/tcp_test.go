@@ -1,12 +1,16 @@
 package network
 
 import (
+	"bytes"
+	"encoding/binary"
+	"net"
 	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/bamboo-bft/bamboo/internal/codec"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -184,15 +188,16 @@ func TestTCPConcurrentCloseSendRace(t *testing.T) {
 }
 
 // TestTCPOversizedMessageDropped: a message over the frame cap must
-// die at the sender without wedging the link — later messages still
-// arrive (over a fresh connection, since an oversized encode poisons
-// the gob stream).
+// die at the sender without wedging the link — and because the codec
+// detects the oversize before staging a byte, the connection itself
+// survives: later messages arrive with no redial.
 func TestTCPOversizedMessageDropped(t *testing.T) {
 	a, b := newTCPPair(t)
 	defer func() { _ = a.Close() }()
 	defer func() { _ = b.Close() }()
 
 	recvQuery(t, b, 1, func() { a.Send(2, types.QueryMsg{Height: 1}) })
+	dropsBefore := a.Stats().Dropped
 
 	huge := types.RequestMsg{Tx: types.Transaction{
 		ID:      types.TxID{Client: 9, Seq: 9},
@@ -209,8 +214,123 @@ func TestTCPOversizedMessageDropped(t *testing.T) {
 				t.Fatal("oversized message must never be delivered")
 			}
 		case <-drainDeadline:
+			stats := a.Stats()
+			if stats.Dropped <= dropsBefore {
+				t.Fatalf("oversized message not counted dropped: %+v", stats)
+			}
+			// One message lost, zero connections: the frame cap no
+			// longer poisons the stream, so no re-dial happened.
+			if stats.Redials != 0 {
+				t.Fatalf("oversized message cost the connection: %d redials", stats.Redials)
+			}
+			if stats.Dials != 1 {
+				t.Fatalf("expected the original dial only, got %d", stats.Dials)
+			}
 			return
 		}
+	}
+}
+
+// TestTCPMalformedFrameDropsMessageNotConn: hostile bytes on an
+// inbound connection cost one frame, counted in TransportStats — a
+// healthy frame on the SAME connection still delivers. This is the
+// receive-side half of the drop-a-message-not-the-connection
+// guarantee (the gob design had to discard the conn).
+func TestTCPMalformedFrameDropsMessageNotConn(t *testing.T) {
+	b, err := NewTCP(2, map[types.NodeID]string{2: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	// Frame 1: well-framed garbage (unknown tag). Frame 2: truncated
+	// vote body. Frame 3: a healthy query — same connection.
+	var raw bytes.Buffer
+	junk := []byte{types.WireVersion, 0xEE, 1, 0, 0, 0, 42}
+	raw.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(junk))))
+	raw.Write(junk)
+	bad := []byte{types.WireVersion, byte(types.TagVote), 1, 0, 0, 0, 1, 9}
+	raw.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(bad))))
+	raw.Write(bad)
+	enc := codec.NewEncoder(&raw)
+	if _, err := enc.Encode(codec.Envelope{From: 1, Msg: types.QueryMsg{Height: 77}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case env := <-b.Inbox():
+		q, ok := env.Msg.(types.QueryMsg)
+		if !ok || q.Height != 77 || env.From != 1 {
+			t.Fatalf("healthy frame mangled: %+v", env)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy frame after malformed frames never delivered")
+	}
+	if drops := b.Stats().Dropped; drops != 2 {
+		t.Fatalf("want 2 dropped frames counted, got %d", drops)
+	}
+}
+
+// TestTCPWriteCoalescing: a burst queued behind a blocked writer is
+// drained through one encoder flush — every message arrives, exact
+// framed bytes are counted, and the per-message accounting matches
+// the codec's sizes.
+func TestTCPWriteCoalescing(t *testing.T) {
+	a, b := newTCPPair(t)
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	// Establish the connection first so the burst rides one stream.
+	recvQuery(t, b, 1, func() { a.Send(2, types.QueryMsg{Height: 1}) })
+	base := a.Stats()
+
+	const burst = 200
+	var wantBytes uint64
+	for i := 0; i < burst; i++ {
+		msg := types.VoteMsg{Vote: &types.Vote{View: types.View(i), BlockID: types.Hash{1}, Voter: 1, Sig: []byte{1, 2, 3, 4}}}
+		n, ok := codec.EncodedSize(msg)
+		if !ok {
+			t.Fatal("vote not sized")
+		}
+		wantBytes += uint64(n)
+		a.Send(2, msg)
+	}
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < burst {
+		select {
+		case env, ok := <-b.Inbox():
+			if !ok {
+				t.Fatal("inbox closed mid-burst")
+			}
+			if _, isVote := env.Msg.(types.VoteMsg); isVote {
+				got++
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d burst messages arrived", got, burst)
+		}
+	}
+	stats := a.Stats()
+	if stats.Msgs-base.Msgs != burst {
+		t.Fatalf("sent-message count off: %d", stats.Msgs-base.Msgs)
+	}
+	if stats.Bytes-base.Bytes != wantBytes {
+		t.Fatalf("framed bytes %d, codec sizes sum to %d", stats.Bytes-base.Bytes, wantBytes)
+	}
+	if stats.Dials != 1 || stats.Redials != 0 {
+		t.Fatalf("burst should ride one connection: %+v", stats)
 	}
 }
 
