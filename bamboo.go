@@ -180,13 +180,18 @@ const (
 	ElectionHashed     = harness.ElectionHashed
 )
 
-// Transport backends for Experiment.Backend: the in-process channel
-// switch (default), or one real loopback TCP listener per replica.
-// The declared fault schedule means the same thing on both.
+// Deployment backends for Experiment.Backend: the in-process channel
+// switch (default), one real loopback TCP listener per replica, or one
+// bamboo-server OS process per replica. The declared fault schedule
+// means the same thing on all of them.
 const (
 	BackendSwitch = harness.BackendSwitch
 	BackendTCP    = harness.BackendTCP
+	BackendFleet  = harness.BackendFleet
 )
+
+// Backends lists the registered deployment backends.
+func Backends() []string { return harness.Backends() }
 
 // Run executes a declared experiment and returns its structured
 // result — the framework's evaluation entry point.

@@ -37,6 +37,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/bench"
@@ -73,8 +74,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload and key seed")
 		jsonDir  = flag.String("json", "", "directory for BENCH_<experiment>.json result files")
 		scenario = flag.String("run", "", "JSON scenario (Experiment) file to run instead of named experiments")
-		backend  = flag.String("backend", "", `transport backend: "switch" (in-process, default) or "tcp" (loopback sockets)`)
-		wire     = flag.Bool("wire", false, "run the wire-codec micro-benchmarks (binary codec vs gob reference)")
+		backend  = flag.String("backend", "", fmt.Sprintf(
+			"deployment backend: %q (in-process, default), %q (loopback sockets), or %q (one bamboo-server process per replica)",
+			harness.BackendSwitch, harness.BackendTCP, harness.BackendFleet))
+		wire = flag.Bool("wire", false, "run the wire-codec micro-benchmarks (binary codec vs gob reference)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bamboo-bench [flags] <experiment>... | all\n")
@@ -89,10 +92,20 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	log.SetFlags(0)
-	switch *backend {
-	case "", harness.BackendSwitch, harness.BackendTCP:
-	default:
-		log.Fatalf("bamboo-bench: unknown backend %q (want switch or tcp)", *backend)
+	if *backend != "" {
+		// The harness keeps the single registered-backends list; the
+		// flag accepts exactly what a scenario file may declare.
+		known := false
+		for _, b := range harness.Backends() {
+			if *backend == b {
+				known = true
+				break
+			}
+		}
+		if !known {
+			log.Fatalf("bamboo-bench: unknown backend %q (want %s)",
+				*backend, strings.Join(harness.Backends(), ", "))
+		}
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {

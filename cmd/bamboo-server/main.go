@@ -9,15 +9,26 @@
 // The configuration file follows Table I of the paper (see
 // internal/config); the "address" map lists every replica's consensus
 // endpoint.
+//
+// Besides the client API, the HTTP port carries the fleet control
+// plane (see internal/httpapi): /readyz readiness, POST
+// /admin/conditions for remote fault injection into the server's
+// conditioned transport, GET /admin/result for the node-local slice of
+// a benchmark result, and /admin/snapshot/{manifest,chunk} for
+// out-of-band snapshot transfer. SIGTERM drains the API gracefully; a
+// second signal forces exit; the process exits non-zero if it observed
+// a safety violation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -83,6 +94,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Wrap the raw transport in the same condition model the
+	// in-process backends use, judged at this sender. Out of the box
+	// it only applies the configured base delay/bandwidth (none by
+	// default); its real purpose is remote fault injection — a fleet
+	// supervisor pushes partitions, delays, and loss onto the running
+	// process through POST /admin/conditions.
+	replicas := make([]types.NodeID, 0, len(cfg.Addrs))
+	for rid := range cfg.Addrs {
+		replicas = append(replicas, rid)
+	}
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i] < replicas[j] })
+	cond := network.NewConditions(cfg.Seed)
+	cond.SetBaseDelay(cfg.Delay, cfg.DelayStd)
+	if cfg.Bandwidth > 0 {
+		cond.SetBandwidth(cfg.Bandwidth)
+	}
+	shim := network.Condition(transport, cond, replicas)
 	// Persist the committed chain by default: the ledger is both the
 	// crash-recovery record and what this replica serves deep
 	// catch-up ranges from when a peer falls past the keep window.
@@ -96,7 +124,15 @@ func run() error {
 		if path == "" {
 			path = fmt.Sprintf("bamboo-replica-%d.ledger", *id)
 		}
-		led, err = ledger.OpenBuffered(path)
+		// Unbuffered, deliberately: a server's crash story is the
+		// process dying (SIGKILL from a supervisor, OOM), and surviving
+		// that only needs each record written to the kernel — which
+		// the buffered ledger withholds for up to 64KiB. Page-cache
+		// durability costs one write syscall per commit and makes
+		// restart replay reflect every height the replica reported
+		// committed. (Machine-crash durability would need fsync and is
+		// a different trade; see ROADMAP.)
+		led, err = ledger.Open(path)
 		if err != nil {
 			return err
 		}
@@ -111,7 +147,7 @@ func run() error {
 		}
 	}
 	store := kvstore.New()
-	node := core.NewNode(self, cfg, factory, transport, scheme, core.Options{
+	node := core.NewNode(self, cfg, factory, shim, scheme, core.Options{
 		Execute:   store.Apply,
 		Ledger:    led,
 		State:     store,
@@ -123,8 +159,13 @@ func run() error {
 	})
 
 	var httpSrv *http.Server
+	var api *httpapi.Server
 	if *httpAddr != "" {
-		api := httpapi.New(node, uint64(self), 30*time.Second)
+		api = httpapi.New(node, uint64(self), 30*time.Second)
+		api.SetConditions(cond)
+		if snaps != nil {
+			api.SetSnapshots(snaps)
+		}
 		httpSrv = &http.Server{
 			Addr:              *httpAddr,
 			Handler:           api.Handler(),
@@ -138,6 +179,12 @@ func run() error {
 	}
 
 	node.Start()
+	if api != nil {
+		// Ready only now: the TCP transport is bound and bootstrap
+		// replay (inside Start) has finished, so a supervisor polling
+		// /readyz never races a replica that would still reject load.
+		api.SetReady()
+	}
 	if replayed := node.Pipeline().Snapshot().ReplayedBlocks; replayed > 0 || node.Status().SnapshotHeight > 0 {
 		st := node.Status()
 		log.Printf("bootstrap: restored snapshot height %d, replayed %d ledger blocks (committed height %d)",
@@ -146,18 +193,36 @@ func run() error {
 	log.Printf("replica %s running %s with %d peers (consensus %s, http %q)",
 		self, cfg.Protocol, cfg.N, cfg.Addrs[self], *httpAddr)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
+	s := <-sig
+	log.Printf("shutting down on %v (second signal forces immediate exit)", s)
+	go func() {
+		s := <-sig
+		log.Printf("forced exit on second %v", s)
+		os.Exit(3)
+	}()
 	if httpSrv != nil {
-		_ = httpSrv.Close()
+		// Drain in-flight API requests instead of slamming their
+		// connections — a benchmark driver's final POST /tx should
+		// get its answer, not a reset. The deadline keeps a stuck
+		// client from pinning the process; stragglers are cut off.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			_ = httpSrv.Close()
+		}
+		cancel()
 	}
 	node.Stop()
-	if err := transport.Close(); err != nil {
+	if err := shim.Close(); err != nil {
 		return err
 	}
 	status := node.Status()
 	log.Printf("final state: view %d, committed height %d", status.CurView, status.CommittedHeight)
+	if v := node.Violations(); v > 0 {
+		// A replica that witnessed safety violations must not exit 0:
+		// supervisors treat the exit status as the verdict.
+		return fmt.Errorf("%d safety violations observed", v)
+	}
 	return nil
 }

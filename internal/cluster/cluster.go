@@ -325,6 +325,13 @@ func (c *Cluster) Store(id types.NodeID) *kvstore.Store { return c.stores[id] }
 // condition model, whichever backend carries the messages.
 func (c *Cluster) Conditions() *network.Conditions { return c.cond }
 
+// ApplyConditions compiles a declarative condition change onto the
+// shared model — the harness fault scheduler's surface, identical in
+// meaning to the admin endpoint a fleet deployment exposes per server.
+func (c *Cluster) ApplyConditions(spec network.ConditionsSpec) {
+	spec.Apply(c.cond, time.Now())
+}
+
 // Crash silences a replica in the condition model; on the TCP backend
 // it additionally tears down the node's live sockets, so peers observe
 // real connection resets and their reconnect paths run. The harness
@@ -506,22 +513,7 @@ func (c *Cluster) PipelineStats() metrics.PipelineStats {
 func (c *Cluster) AggregatePipeline() metrics.PipelineStats {
 	var agg metrics.PipelineStats
 	for _, n := range c.HonestNodes() {
-		s := n.Pipeline().Snapshot()
-		agg.SigsVerified += s.SigsVerified
-		agg.BatchesVerified += s.BatchesVerified
-		agg.BatchFallbacks += s.BatchFallbacks
-		agg.VerifyRejected += s.VerifyRejected
-		agg.InlineVerifies += s.InlineVerifies
-		agg.DigestResolved += s.DigestResolved
-		agg.DigestFetched += s.DigestFetched
-		agg.BlocksApplied += s.BlocksApplied
-		agg.SyncRequestsSent += s.SyncRequestsSent
-		agg.SyncBatchesServed += s.SyncBatchesServed
-		agg.SyncBlocksApplied += s.SyncBlocksApplied
-		agg.SyncRejected += s.SyncRejected
-		agg.SnapshotInstalls += s.SnapshotInstalls
-		agg.SnapshotsServed += s.SnapshotsServed
-		agg.ReplayedBlocks += s.ReplayedBlocks
+		agg.AddCounters(n.Pipeline().Snapshot())
 	}
 	return agg
 }
@@ -533,17 +525,8 @@ func (c *Cluster) AggregateChain() metrics.ChainStats {
 	honest := c.HonestNodes()
 	var agg metrics.ChainStats
 	for _, n := range honest {
-		s := n.Tracker().Snapshot()
-		agg.BlocksAdded += s.BlocksAdded
-		agg.BlocksCommitted += s.BlocksCommitted
-		agg.ViewsEntered += s.ViewsEntered
-		agg.TxCommitted += s.TxCommitted
-		agg.CGR += s.CGR
-		agg.BI += s.BI
+		agg.Accumulate(n.Tracker().Snapshot())
 	}
-	if len(honest) > 0 {
-		agg.CGR /= float64(len(honest))
-		agg.BI /= float64(len(honest))
-	}
+	agg.AverageRatios(len(honest))
 	return agg
 }

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+// ServerBin resolves the bamboo-server binary a fleet execs:
+//
+//  1. $BAMBOO_SERVER, when set (CI builds once — e.g. with -race —
+//     and points every run at it);
+//  2. bamboo-server on $PATH;
+//  3. a one-time `go build ./cmd/bamboo-server` from the enclosing
+//     module, cached for the rest of the process (requires running
+//     inside the repository with a go toolchain available).
+//
+// The fallback build lands in a process-lifetime temp directory; set
+// $BAMBOO_SERVER to keep repeated short-lived invocations from
+// rebuilding.
+func ServerBin() (string, error) {
+	if p := os.Getenv("BAMBOO_SERVER"); p != "" {
+		return p, nil
+	}
+	if p, err := exec.LookPath("bamboo-server"); err == nil {
+		return p, nil
+	}
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "bamboo-fleet-bin-")
+		if err != nil {
+			buildErr = fmt.Errorf("fleet: %w", err)
+			return
+		}
+		bin := filepath.Join(dir, "bamboo-server")
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/bamboo-server")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			_ = os.RemoveAll(dir)
+			buildErr = fmt.Errorf("fleet: building bamboo-server: %v\n%s", err, out)
+			return
+		}
+		builtBin = bin
+	})
+	if buildErr != nil {
+		return "", buildErr
+	}
+	return builtBin, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", fmt.Errorf("fleet: %w", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("fleet: no bamboo-server binary ($BAMBOO_SERVER unset, not on PATH, no enclosing module to build from)")
+		}
+		dir = parent
+	}
+}

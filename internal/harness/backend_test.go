@@ -2,6 +2,7 @@ package harness
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
 	"testing"
 	"time"
@@ -10,10 +11,10 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
-// backendExperiment is the acceptance scenario of the TCP harness
-// backend: one declared experiment whose schedule exercises partition,
-// heal, crash, and restart — it must run to a consistent, recovered
-// Result on both transports.
+// backendExperiment is the acceptance scenario of the non-switch
+// harness backends: one declared experiment whose schedule exercises
+// partition, heal, crash, and restart — it must run to a consistent,
+// recovered Result on every registered backend.
 func backendExperiment(backend string) Experiment {
 	cfg := config.Default()
 	cfg.Protocol = config.ProtocolHotStuff
@@ -43,14 +44,18 @@ func backendExperiment(backend string) Experiment {
 	}
 }
 
-// TestSameScenarioBothBackends is the acceptance bar of the TCP
-// backend: byte-identical fault semantics and measurement across
-// transports, proven by the same declared Experiment (partition/heal
-// plus crash/restart) finishing Consistent and Recovered on each.
-func TestSameScenarioBothBackends(t *testing.T) {
-	for _, backend := range []string{BackendSwitch, BackendTCP} {
+// TestSameScenarioAllBackends is the acceptance bar of the deployment
+// backends: identical fault semantics and measurement across the
+// in-process switch, loopback TCP, and the multi-process fleet, proven
+// by the same declared Experiment (partition/heal plus crash/restart)
+// finishing Consistent and Recovered on each.
+func TestSameScenarioAllBackends(t *testing.T) {
+	for _, backend := range Backends() {
 		backend := backend
 		t.Run(backend, func(t *testing.T) {
+			if backend == BackendFleet {
+				buildServerBinary(t)
+			}
 			res, err := Run(backendExperiment(backend))
 			if err != nil {
 				t.Fatalf("run: %v (result error %q)", err, res.Error)
@@ -67,16 +72,48 @@ func TestSameScenarioBothBackends(t *testing.T) {
 			if len(res.Points) != 1 || res.Points[0].Throughput <= 0 {
 				t.Fatalf("no committed throughput measured: %+v", res.Points)
 			}
-			if backend == BackendTCP {
+			switch backend {
+			case BackendTCP:
 				if res.Network.Dials == 0 {
 					t.Fatalf("TCP run reports no dials: %+v", res.Network)
 				}
 				if res.Network.Redials == 0 {
 					t.Fatalf("crash teardown must force redials: %+v", res.Network)
 				}
+			case BackendFleet:
+				if len(res.Pids) != res.Config.N {
+					t.Fatalf("fleet result pids = %v, want %d entries", res.Pids, res.Config.N)
+				}
+				seen := map[int]bool{}
+				for i, pid := range res.Pids {
+					if pid <= 0 || pid == os.Getpid() || seen[pid] {
+						t.Fatalf("replica %d pid %d is not a distinct child process (%v)",
+							i+1, pid, res.Pids)
+					}
+					seen[pid] = true
+				}
+				// The restart leg re-exec'd replica 2 against its
+				// surviving ledger; its bootstrap replay must show up
+				// in the merged counters.
+				if res.Pipeline.ReplayedBlocks == 0 {
+					t.Fatalf("fleet restart replayed no ledger blocks: %+v", res.Pipeline)
+				}
 			}
 		})
 	}
+}
+
+// buildServerBinary compiles bamboo-server into the test's temp dir
+// and points fleet.ServerBin at it, keeping the harness tests from
+// leaving the fallback build's process-lifetime directory behind.
+func buildServerBinary(t *testing.T) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bamboo-server")
+	cmd := exec.Command("go", "build", "-o", bin, "../../cmd/bamboo-server")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building bamboo-server: %v\n%s", err, out)
+	}
+	t.Setenv("BAMBOO_SERVER", bin)
 }
 
 // TestLoadExperimentDefaultsAndValidation: a scenario file states only
@@ -147,5 +184,34 @@ func TestCommittedScenarioStaysValid(t *testing.T) {
 		if !kinds[want] {
 			t.Fatalf("committed scenario lost its %s event", want)
 		}
+	}
+}
+
+// TestCommittedFleetScenarioStaysValid guards the fleet-smoke CI
+// gate's input the same way: the scenario must keep declaring the
+// fleet backend and the SIGKILL/re-exec leg that makes the gate's
+// replayedBlocks assertion meaningful.
+func TestCommittedFleetScenarioStaysValid(t *testing.T) {
+	exp, err := LoadExperiment(filepath.Join("..", "..", "examples", "scenarios", "fleet-kill-restart.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Name != "fleet-kill-restart" {
+		t.Fatalf("unexpected scenario name %q", exp.Name)
+	}
+	if exp.Backend != BackendFleet {
+		t.Fatalf("scenario backend %q, want %q", exp.Backend, BackendFleet)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range exp.Faults {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{FaultCrash, FaultRestart} {
+		if !kinds[want] {
+			t.Fatalf("committed scenario lost its %s event", want)
+		}
+	}
+	if exp.DisableLedger {
+		t.Fatal("scenario must keep ledgers on: the restart leg exists to prove cross-process replay")
 	}
 }

@@ -135,13 +135,16 @@ func (s FaultSchedule) Validate() error {
 }
 
 // FaultTarget is the deployment surface a schedule fires against.
-// Partition, delay, drop, and fluctuation events land on the shared
-// condition model; crash and restart go through the target so a
-// backend can give them transport-level consequences too (the TCP
-// cluster tears down the crashed node's sockets). cluster.Cluster
-// implements it.
+// Partition, delay, drop, and fluctuation events compile into one
+// declarative network.ConditionsSpec each and land on ApplyConditions
+// — the in-process cluster applies the spec to its shared condition
+// model, a fleet fans it out to every server's admin endpoint. Crash
+// and restart go through their own methods so a backend can give them
+// transport- or process-level consequences: the TCP cluster tears down
+// the crashed node's sockets, the fleet SIGKILLs and re-execs the
+// child process. cluster.Cluster and fleet.Fleet implement it.
 type FaultTarget interface {
-	Conditions() *network.Conditions
+	ApplyConditions(network.ConditionsSpec)
 	Crash(types.NodeID)
 	Restart(types.NodeID)
 }
@@ -151,18 +154,43 @@ type FaultTarget interface {
 // use it.
 type conditionsTarget struct{ cond *network.Conditions }
 
-func (t conditionsTarget) Conditions() *network.Conditions { return t.cond }
-func (t conditionsTarget) Crash(id types.NodeID)           { t.cond.Crash(id) }
-func (t conditionsTarget) Restart(id types.NodeID)         { t.cond.Restart(id) }
+func (t conditionsTarget) ApplyConditions(spec network.ConditionsSpec) {
+	spec.Apply(t.cond, time.Now())
+}
+func (t conditionsTarget) Crash(id types.NodeID)   { t.cond.Crash(id) }
+func (t conditionsTarget) Restart(id types.NodeID) { t.cond.Restart(id) }
+
+// ConditionsSpec compiles the event into the declarative condition
+// change it means, or a zero spec for crash/restart events (which fire
+// through the target's own methods).
+func (ev FaultEvent) ConditionsSpec() network.ConditionsSpec {
+	switch ev.Kind {
+	case FaultPartition:
+		return network.ConditionsSpec{Partition: ev.Groups}
+	case FaultHeal:
+		return network.ConditionsSpec{Heal: true}
+	case FaultFluctuate:
+		return network.ConditionsSpec{Fluctuate: &network.FluctuateSpec{
+			Dur: ev.Dur, Min: ev.Min, Max: ev.Max,
+		}}
+	case FaultDelay:
+		spec := network.ConditionsSpec{}
+		for _, id := range ev.Nodes {
+			spec.Delays = append(spec.Delays, network.NodeDelaySpec{
+				Node: id, Mean: ev.Mean, Std: ev.Std,
+			})
+		}
+		return spec
+	case FaultDrop:
+		rate := ev.Rate
+		return network.ConditionsSpec{DropRate: &rate}
+	}
+	return network.ConditionsSpec{}
+}
 
 // apply compiles one event onto the target at fire time.
 func (ev FaultEvent) apply(target FaultTarget) {
-	cond := target.Conditions()
 	switch ev.Kind {
-	case FaultPartition:
-		cond.Partition(ev.Groups)
-	case FaultHeal:
-		cond.Heal()
 	case FaultCrash:
 		for _, id := range ev.Nodes {
 			target.Crash(id)
@@ -171,14 +199,8 @@ func (ev FaultEvent) apply(target FaultTarget) {
 		for _, id := range ev.Nodes {
 			target.Restart(id)
 		}
-	case FaultFluctuate:
-		cond.Fluctuate(time.Now(), ev.Dur, ev.Min, ev.Max)
-	case FaultDelay:
-		for _, id := range ev.Nodes {
-			cond.SetNodeDelay(id, ev.Mean, ev.Std)
-		}
-	case FaultDrop:
-		cond.SetDropRate(ev.Rate)
+	default:
+		target.ApplyConditions(ev.ConditionsSpec())
 	}
 }
 

@@ -1,0 +1,297 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/fleet"
+	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// runFleetStep executes one load level against a fresh fleet of real
+// bamboo-server processes — the same declared scenario as the
+// in-process backends, with the process boundary made real: load goes
+// in through each replica's HTTP API, faults cross as SIGKILL /
+// re-exec / admin-endpoint pushes, and the Result is merged from every
+// server's node-local slice.
+//
+// The fleet is closed-loop only, and the load-shaping extras that
+// require in-process hooks (open-loop rates, fanout transaction
+// mirroring, commit-series buckets, hashed election) are rejected
+// loudly rather than silently degraded.
+func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (Point, error) {
+	var p Point
+	cfg := exp.Config
+	switch {
+	case rate > 0:
+		return p, fmt.Errorf("harness: fleet backend is closed-loop only (open-loop minting lives in the in-process client)")
+	case exp.Measure.Fanout:
+		return p, fmt.Errorf("harness: fleet backend cannot fan out transactions (each server mints its own IDs)")
+	case exp.Measure.Bucket > 0:
+		return p, fmt.Errorf("harness: fleet backend has no commit-series hook")
+	case exp.Election == ElectionHashed:
+		return p, fmt.Errorf("harness: fleet backend runs the server's configured election only")
+	}
+	gen, err := exp.Workload.New(cfg.PayloadSize, cfg.Seed)
+	if err != nil {
+		return p, err
+	}
+
+	f, err := fleet.New(cfg, fleet.Options{
+		Dir:           exp.LedgerDir,
+		DisableLedger: exp.DisableLedger,
+	})
+	if err != nil {
+		return p, err
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			_ = f.Stop()
+		}
+	}()
+
+	// The epoch — the zero point of fault offsets — is "every replica
+	// ready". The in-process backends anchor just before assembly;
+	// assembly there is microseconds, while spawning real processes is
+	// not, so anchoring after readiness is what keeps a scenario's
+	// offsets meaning the same thing on every backend.
+	epoch := time.Now()
+	stop := make(chan struct{})
+	faultsDone := make(chan struct{})
+	if len(exp.Faults) > 0 {
+		go func() {
+			defer close(faultsDone)
+			exp.Faults.run(f, epoch, stop, nil)
+		}()
+	} else {
+		close(faultsDone)
+	}
+
+	perOp := exp.Measure.PerOpTimeout
+	if perOp <= 0 {
+		perOp = 5 * time.Second
+	}
+	load := startFleetLoad(f, gen, cfg.N, concurrency, perOp, cfg.Seed)
+	p.Offered = float64(concurrency)
+
+	if exp.Measure.Warmup > 0 {
+		time.Sleep(exp.Measure.Warmup)
+	}
+	load.lat.Reset()
+	observer := types.NodeID(cfg.N)
+	startRes, err := f.ReplicaResult(observer)
+	if err != nil {
+		return p, err
+	}
+	window := exp.Measure.Window
+	if window <= 0 {
+		window = cfg.Runtime
+	}
+	begin := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(begin)
+	endRes, err := f.ReplicaResult(observer)
+	if err != nil {
+		return p, err
+	}
+
+	close(stop)
+	<-faultsDone
+	load.stop()
+
+	p.Throughput = float64(endRes.Chain.TxCommitted-startRes.Chain.TxCommitted) / elapsed.Seconds()
+	p.Blocks = endRes.Chain.BlocksCommitted - startRes.Chain.BlocksCommitted
+	lat := load.lat.Snapshot()
+	p.Mean, p.P50, p.P99 = lat.Mean, lat.P50, lat.P99
+	// Observer-endpoint traffic over the window (deployment-wide sums
+	// land in Result.Network below).
+	p.NetMsgs = endRes.Transport.Msgs - startRes.Transport.Msgs
+	p.NetBytes = endRes.Transport.Bytes - startRes.Transport.Bytes
+
+	// Merge every server's node-local slice into the deployment-wide
+	// result: counters summed, ratio metrics averaged over honest
+	// replicas, heights into the shared recovery verdict. A replica
+	// that is down at the end contributes a zero slice — its height 0
+	// fails the recovery verdict, which is the correct reading of "the
+	// scenario ended with a replica dead". Transport sums count each
+	// replica's CURRENT incarnation; traffic of pre-restart
+	// incarnations died with their processes.
+	var chain metrics.ChainStats
+	var pipeline metrics.PipelineStats
+	var net NetworkStats
+	heights := make([]uint64, cfg.N)
+	snapHeights := make([]uint64, cfg.N)
+	reached := make([]bool, cfg.N)
+	var violations uint64
+	honest := 0
+	for i := 1; i <= cfg.N; i++ {
+		id := types.NodeID(i)
+		rr, err := f.ReplicaResult(id)
+		if err != nil {
+			continue
+		}
+		reached[i-1] = true
+		heights[i-1] = rr.CommittedHeight
+		snapHeights[i-1] = rr.SnapshotHeight
+		violations += rr.Violations
+		net.Msgs += rr.Transport.Msgs
+		net.Bytes += rr.Transport.Bytes
+		net.Dropped += rr.Transport.Dropped
+		net.Dials += rr.Transport.Dials
+		net.Redials += rr.Transport.Redials
+		net.Accepted += rr.Transport.Accepted
+		if !cfg.IsByzantine(id) {
+			chain.Accumulate(rr.Chain)
+			pipeline.AddCounters(rr.Pipeline)
+			honest++
+		}
+	}
+	chain.AverageRatios(honest)
+	p.CGR, p.BI = chain.CGR, chain.BI
+	p.Pipeline = pipeline
+
+	res.Chain = chain
+	res.Pipeline = pipeline
+	res.Network = net
+	res.Heights = heights
+	res.Recovered = recoveredFromHeights(heights, cfg)
+	if cfg.SnapshotInterval > 0 {
+		res.SnapshotHeights = snapHeights
+	}
+	res.Violations += violations
+	pids := f.Pids()
+	res.Pids = make([]int, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		res.Pids[i-1] = pids[types.NodeID(i)]
+	}
+
+	if err := fleetConsistencyCheck(f, cfg, heights, reached); err != nil {
+		return p, err
+	}
+	stopped = true
+	if err := f.Stop(); err != nil {
+		return p, fmt.Errorf("harness: fleet teardown: %w", err)
+	}
+	if res.Violations != 0 {
+		return p, fmt.Errorf("harness: %d safety violations", res.Violations)
+	}
+	return p, nil
+}
+
+// fleetConsistencyCheck is the cluster's cross-replica consistency
+// check carried over HTTP: every pair of reachable honest replicas
+// must agree on the committed block hash at their common height,
+// probed at several depths so later commits cannot mask divergence.
+func fleetConsistencyCheck(f *fleet.Fleet, cfg config.Config, heights []uint64, reached []bool) error {
+	min := uint64(0)
+	for i, h := range heights {
+		if !reached[i] || cfg.IsByzantine(types.NodeID(i+1)) {
+			continue
+		}
+		if min == 0 || h < min {
+			min = h
+		}
+	}
+	if min == 0 {
+		return nil
+	}
+	for _, h := range []uint64{min, min / 2, 1} {
+		if h == 0 {
+			continue
+		}
+		var want string
+		var wantFrom types.NodeID
+		for i := 0; i < cfg.N; i++ {
+			id := types.NodeID(i + 1)
+			if !reached[i] || cfg.IsByzantine(id) {
+				continue
+			}
+			got, ok, err := f.HashAt(id, h)
+			if err != nil || !ok {
+				continue // down, or compacted beyond window on this replica
+			}
+			if want == "" {
+				want, wantFrom = got, id
+				continue
+			}
+			if got != want {
+				return fmt.Errorf("harness: replicas %s and %s disagree at height %d: %s vs %s",
+					wantFrom, id, h, want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// fleetLoad is the closed-loop load generator of the fleet backend:
+// the in-process client's loop rebuilt over HTTP. Each worker submits
+// to a seeded-random replica and waits for the commit response;
+// latencies are recorded client-side, exactly like the in-process
+// closed loop. Submissions to a crashed replica fail fast and count
+// for nothing — the same transactions a real client would lose.
+type fleetLoad struct {
+	lat    *metrics.Latency
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+func startFleetLoad(f *fleet.Fleet, gen interface{ Next() []byte },
+	n, concurrency int, perOp time.Duration, seed int64) *fleetLoad {
+
+	l := &fleetLoad{
+		lat:    &metrics.Latency{},
+		stopCh: make(chan struct{}),
+	}
+	client := &http.Client{Timeout: perOp}
+	for w := 0; w < concurrency; w++ {
+		l.wg.Add(1)
+		rng := rand.New(rand.NewSource(seed + int64(w)))
+		go func() {
+			defer l.wg.Done()
+			for {
+				select {
+				case <-l.stopCh:
+					return
+				default:
+				}
+				target := types.NodeID(rng.Intn(n) + 1)
+				body, err := json.Marshal(map[string][]byte{"command": gen.Next()})
+				if err != nil {
+					continue
+				}
+				start := time.Now()
+				resp, err := client.Post(f.URL(target)+"/tx", "application/json",
+					bytes.NewReader(body))
+				if err != nil {
+					// Connection refused (crashed replica) or per-op
+					// timeout; back off a beat so a dead target does
+					// not turn the worker into a busy loop.
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				var out struct {
+					Committed bool `json:"committed"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&out)
+				_ = resp.Body.Close()
+				if out.Committed {
+					l.lat.Record(time.Since(start))
+				}
+			}
+		}()
+	}
+	return l
+}
+
+func (l *fleetLoad) stop() {
+	close(l.stopCh)
+	l.wg.Wait()
+}

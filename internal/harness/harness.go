@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/cluster"
@@ -28,7 +29,18 @@ const (
 const (
 	BackendSwitch = cluster.BackendSwitch
 	BackendTCP    = cluster.BackendTCP
+	// BackendFleet deploys every replica as its own bamboo-server OS
+	// process on loopback (see internal/fleet).
+	BackendFleet = "fleet"
 )
+
+// Backends returns the registered deployment backends, in
+// documentation order. It is the single list experiment validation
+// and the command-line tools check and print — a backend added here
+// is accepted everywhere at once.
+func Backends() []string {
+	return []string{BackendSwitch, BackendTCP, BackendFleet}
+}
 
 // Experiment declares one complete scenario.
 type Experiment struct {
@@ -49,13 +61,16 @@ type Experiment struct {
 	// configuration's default, "hashed" uses hash-based pseudo-random
 	// election (the Section V-E design choice).
 	Election string `json:"election,omitempty"`
-	// Backend selects the transport the scenario deploys over: "" or
+	// Backend selects the deployment the scenario runs over: "" or
 	// "switch" for the in-process channel switch, "tcp" for one real
-	// loopback listener per replica. The fault schedule means the same
-	// thing on both — partitions, delays, and drops go through one
-	// shared condition model, crashes additionally tear down the TCP
-	// node's sockets — so the same declared experiment yields
-	// comparable Results on either.
+	// loopback listener per replica, "fleet" for one bamboo-server OS
+	// process per replica. The fault schedule means the same thing on
+	// all of them — partitions, delays, and drops compile into
+	// condition-model changes (applied directly in-process, pushed over
+	// each server's admin endpoint on the fleet), while crashes
+	// escalate with the backend: condition marks on the switch, socket
+	// teardown on TCP, SIGKILL and re-exec on the fleet — so the same
+	// declared experiment yields comparable Results on any backend.
 	Backend string `json:"backend,omitempty"`
 	// LedgerDir, when set, gives every replica a persistent ledger
 	// file of its committed chain under this directory. When empty,
@@ -189,6 +204,11 @@ type Result struct {
 	// recovered by installing a snapshot rather than streaming the
 	// whole gap.
 	SnapshotHeights []uint64 `json:"snapshotHeights,omitempty"`
+	// Pids records, on the fleet backend, the OS process ID of every
+	// replica's latest incarnation (index is replica ID minus one) —
+	// the audit trail that the run really was multi-process and that
+	// restart legs re-exec'd. Absent on in-process backends.
+	Pids []int `json:"pids,omitempty"`
 	// Recovered reports whether every honest replica finished within
 	// one forest keep window of the highest honest committed height.
 	// With ledger-backed state sync this holds even for schedules
@@ -236,10 +256,18 @@ func (e *Experiment) Validate() error {
 	default:
 		return fmt.Errorf("harness: unknown election mode %q", e.Election)
 	}
-	switch e.Backend {
-	case "", BackendSwitch, BackendTCP:
-	default:
-		return fmt.Errorf("harness: unknown backend %q", e.Backend)
+	if e.Backend != "" {
+		known := false
+		for _, b := range Backends() {
+			if e.Backend == b {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("harness: unknown backend %q (have %s)",
+				e.Backend, strings.Join(Backends(), ", "))
+		}
 	}
 	for i, lvl := range e.Measure.Levels {
 		if lvl <= 0 {
@@ -312,7 +340,13 @@ func Run(exp Experiment) (*Result, error) {
 
 	var best float64
 	for _, st := range steps {
-		p, err := runStep(exp, st.concurrency, st.rate, res)
+		var p Point
+		var err error
+		if backend == BackendFleet {
+			p, err = runFleetStep(exp, st.concurrency, st.rate, res)
+		} else {
+			p, err = runStep(exp, st.concurrency, st.rate, res)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -446,32 +480,38 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 }
 
 // recoveryVerdict snapshots every replica's committed height at the
-// end of a level and judges whether the honest ones converged: each
-// must be within one keep window of the highest honest height, the
-// band the live fetch path covers without deep sync. Fault schedules
-// that isolate a replica for longer than the keep window only pass
-// this with ledger-backed catch-up working.
+// end of a level and judges whether the honest ones converged.
 func recoveryVerdict(c *cluster.Cluster, cfg config.Config) ([]uint64, bool) {
 	heights := make([]uint64, cfg.N)
-	var maxHonest uint64
 	for i := 1; i <= cfg.N; i++ {
-		id := types.NodeID(i)
-		h := c.Node(id).Status().CommittedHeight
-		heights[i-1] = h
-		if !cfg.IsByzantine(id) && h > maxHonest {
+		heights[i-1] = c.Node(types.NodeID(i)).Status().CommittedHeight
+	}
+	return heights, recoveredFromHeights(heights, cfg)
+}
+
+// recoveredFromHeights judges recovery from the per-replica final
+// committed heights (index = replica ID − 1): every honest replica
+// must be within one forest keep window of the highest honest height,
+// the band the live fetch path covers without deep sync. Fault
+// schedules that isolate a replica for longer than the keep window
+// only pass this with ledger-backed catch-up working. Shared by the
+// in-process backends (which read heights off the cluster) and the
+// fleet backend (which collects them over HTTP).
+func recoveredFromHeights(heights []uint64, cfg config.Config) bool {
+	var maxHonest uint64
+	for i, h := range heights {
+		if !cfg.IsByzantine(types.NodeID(i+1)) && h > maxHonest {
 			maxHonest = h
 		}
 	}
 	slack := uint64(cfg.KeepWindow())
-	recovered := true
-	for i := 1; i <= cfg.N; i++ {
-		id := types.NodeID(i)
-		if cfg.IsByzantine(id) {
+	for i, h := range heights {
+		if cfg.IsByzantine(types.NodeID(i + 1)) {
 			continue
 		}
-		if heights[i-1]+slack < maxHonest {
-			recovered = false
+		if h+slack < maxHonest {
+			return false
 		}
 	}
-	return heights, recovered
+	return true
 }

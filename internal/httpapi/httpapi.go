@@ -23,11 +23,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/core"
 	"github.com/bamboo-bft/bamboo/internal/metrics"
 	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -35,6 +37,12 @@ import (
 type Server struct {
 	node    *core.Node
 	timeout time.Duration
+
+	// admin surface (see admin.go); cond and snaps are optional and
+	// set once before the server starts accepting requests.
+	ready atomic.Bool
+	cond  *network.Conditions
+	snaps *snapshot.Store
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -80,6 +88,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /hash", s.handleHash)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /admin/conditions", s.handleConditions)
+	mux.HandleFunc("GET /admin/result", s.handleResult)
+	mux.HandleFunc("GET /admin/snapshot/manifest", s.handleSnapshotManifest)
+	mux.HandleFunc("GET /admin/snapshot/chunk/{i}", s.handleSnapshotChunk)
 	return mux
 }
 

@@ -145,6 +145,28 @@ type ChainStats struct {
 	TxCommitted uint64
 }
 
+// Accumulate sums s into c, ratio metrics included — pair with
+// AverageRatios(n) once every replica's stats are in, the way the
+// paper reports CGR and BI "from a replica's view". Shared by the
+// in-process cluster aggregation and the fleet's HTTP result merge.
+func (c *ChainStats) Accumulate(s ChainStats) {
+	c.BlocksAdded += s.BlocksAdded
+	c.BlocksCommitted += s.BlocksCommitted
+	c.ViewsEntered += s.ViewsEntered
+	c.TxCommitted += s.TxCommitted
+	c.CGR += s.CGR
+	c.BI += s.BI
+}
+
+// AverageRatios divides the accumulated ratio metrics (CGR, BI) by the
+// number of replicas summed; counters stay totals.
+func (c *ChainStats) AverageRatios(n int) {
+	if n > 0 {
+		c.CGR /= float64(n)
+		c.BI /= float64(n)
+	}
+}
+
 // ChainTracker accumulates the micro-metrics of Section IV-B.
 // The zero value is ready to use.
 type ChainTracker struct {

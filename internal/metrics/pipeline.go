@@ -60,6 +60,30 @@ type PipelineStats struct {
 	ReplayedBlocks uint64
 }
 
+// AddCounters accumulates s's event counters into p — the shared
+// result-assembly step of every deployment backend: the in-process
+// cluster sums per-replica trackers directly, the fleet harness sums
+// per-server slices collected over HTTP. Latency summaries are
+// per-replica distributions and do not aggregate; they stay zero in
+// the receiver.
+func (p *PipelineStats) AddCounters(s PipelineStats) {
+	p.SigsVerified += s.SigsVerified
+	p.BatchesVerified += s.BatchesVerified
+	p.BatchFallbacks += s.BatchFallbacks
+	p.VerifyRejected += s.VerifyRejected
+	p.InlineVerifies += s.InlineVerifies
+	p.DigestResolved += s.DigestResolved
+	p.DigestFetched += s.DigestFetched
+	p.BlocksApplied += s.BlocksApplied
+	p.SyncRequestsSent += s.SyncRequestsSent
+	p.SyncBatchesServed += s.SyncBatchesServed
+	p.SyncBlocksApplied += s.SyncBlocksApplied
+	p.SyncRejected += s.SyncRejected
+	p.SnapshotInstalls += s.SnapshotInstalls
+	p.SnapshotsServed += s.SnapshotsServed
+	p.ReplayedBlocks += s.ReplayedBlocks
+}
+
 // PipelineTracker accumulates PipelineStats. The zero value is ready
 // to use; all methods are safe for concurrent use.
 type PipelineTracker struct {
