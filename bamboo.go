@@ -113,6 +113,9 @@ type (
 	// Policy declares a protocol's design choices (vote routing,
 	// echoing, responsiveness, client path).
 	Policy = safety.Policy
+	// DurableState is the crash-critical voting state a protocol
+	// reports for (and restores from) the safety WAL.
+	DurableState = safety.DurableState
 	// Forest is the block-forest API available to protocols.
 	Forest = forest.Forest
 )

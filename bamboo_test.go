@@ -81,6 +81,19 @@ func (o *onechain) CommitRule(qc *bamboo.QC) *bamboo.Block {
 
 func (o *onechain) HighQC() *bamboo.QC { return o.highQC }
 
+func (o *onechain) DurableState() bamboo.DurableState {
+	return bamboo.DurableState{LastVoted: o.lastVoted, HighQC: o.highQC}
+}
+
+func (o *onechain) Restore(s bamboo.DurableState) {
+	if s.LastVoted > o.lastVoted {
+		o.lastVoted = s.LastVoted
+	}
+	if s.HighQC != nil && s.HighQC.View > o.highQC.View {
+		o.highQC = s.HighQC.Clone()
+	}
+}
+
 func (o *onechain) Policy() bamboo.Policy {
 	return bamboo.Policy{ResponsiveDefault: true}
 }

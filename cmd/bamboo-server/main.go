@@ -42,6 +42,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/protocol"
 	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
+	"github.com/bamboo-bft/bamboo/internal/wal"
 )
 
 func main() {
@@ -60,6 +61,8 @@ func run() error {
 			"ledger file for the committed chain (default bamboo-replica-<id>.ledger; \"none\" disables persistence and with it deep catch-up serving and restart replay). A restarted replica rejoining the SAME chain reuses its file: on startup it replays snapshot + ledger into forest and state machine before joining, then state-syncs only the tail it missed while down. A fresh deployment needs a fresh path (blocks from another chain are never served, but they occupy the file)")
 		snapPath = flag.String("snapshots", "",
 			"snapshot file for periodic state snapshots (default <ledger>.snap; only used with a ledger). Snapshots are taken every snapshotInterval committed heights per the configuration, compact the ledger prefix they cover, serve O(state) catch-up to deeply lagging peers, and seed restart replay")
+		walPath = flag.String("wal", "",
+			"safety WAL file (default <ledger>.wal; only used with a ledger). Records last-voted view, lock, highQC, and current view, fsync'd before any vote or timeout leaves the node, so a SIGKILLed replica can never vote twice in one view after restart — and restart replay re-commits the full ledger with no holdback")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -119,6 +122,7 @@ func run() error {
 	// replay O(gap) instead of O(chain).
 	var led *ledger.Ledger
 	var snaps *snapshot.Store
+	var safetyWAL *wal.WAL
 	if *ledgerPath != "none" {
 		path := *ledgerPath
 		if path == "" {
@@ -145,6 +149,21 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// Fsync'd, unlike the ledger's page-cache durability: the WAL
+		// holds the promises this replica made to its peers (the views
+		// it signed), and a vote that outlives the machine while its
+		// record does not is an equivocation waiting for a restart.
+		// It is a few hundred bytes per vote — the cheap end of the
+		// durability budget.
+		wp := *walPath
+		if wp == "" {
+			wp = path + ".wal"
+		}
+		safetyWAL, err = wal.Open(wp)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = safetyWAL.Close() }()
 	}
 	store := kvstore.New()
 	node := core.NewNode(self, cfg, factory, shim, scheme, core.Options{
@@ -153,6 +172,7 @@ func run() error {
 		State:     store,
 		Snapshots: snaps,
 		Bootstrap: led != nil,
+		WAL:       safetyWAL,
 		OnViolation: func(err error) {
 			log.Printf("SAFETY VIOLATION: %v", err)
 		},

@@ -72,6 +72,25 @@ func (p *pipelined2c) CommitRule(qc *bamboo.QC) *bamboo.Block {
 
 func (p *pipelined2c) HighQC() *bamboo.QC { return p.highQC }
 
+// DurableState / Restore: the crash-critical slice of the state above,
+// persisted by the engine's safety WAL before any vote leaves the
+// replica. Restore merges monotonically so it composes with replay.
+func (p *pipelined2c) DurableState() bamboo.DurableState {
+	return bamboo.DurableState{LastVoted: p.lastVoted, Preferred: p.preferred, HighQC: p.highQC}
+}
+
+func (p *pipelined2c) Restore(s bamboo.DurableState) {
+	if s.LastVoted > p.lastVoted {
+		p.lastVoted = s.LastVoted
+	}
+	if s.Preferred > p.preferred {
+		p.preferred = s.Preferred
+	}
+	if s.HighQC != nil && s.HighQC.View > p.highQC.View {
+		p.highQC = s.HighQC.Clone()
+	}
+}
+
 // Policy: broadcast votes like Streamlet, stay responsive like
 // Fast-HotStuff.
 func (p *pipelined2c) Policy() bamboo.Policy {

@@ -218,6 +218,14 @@ func (c *Client) RunClosedLoop(concurrency int, perOpTimeout time.Duration) {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
+			// One reusable backoff timer per worker: under sustained
+			// backpressure every iteration backs off, and a fresh
+			// time.After allocation per retry is pure churn.
+			backoff := time.NewTimer(0)
+			if !backoff.Stop() {
+				<-backoff.C
+			}
+			defer backoff.Stop()
 			for {
 				select {
 				case <-c.stopCh:
@@ -227,8 +235,9 @@ func (c *Client) RunClosedLoop(concurrency int, perOpTimeout time.Duration) {
 				if !c.SubmitAndWait(perOpTimeout) {
 					// Back off briefly after a rejection or stall
 					// so a saturated pool is not hammered.
+					backoff.Reset(2 * time.Millisecond)
 					select {
-					case <-time.After(2 * time.Millisecond):
+					case <-backoff.C:
 					case <-c.stopCh:
 						return
 					}

@@ -26,6 +26,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/protocol"
 	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
+	"github.com/bamboo-bft/bamboo/internal/wal"
 )
 
 // clientIDBase offsets client endpoint IDs above any replica ID.
@@ -69,9 +70,18 @@ type Options struct {
 	// default.
 	LedgerDir string
 	// DisableLedger turns persistence off entirely; replicas then
-	// serve catch-up only from the in-memory forest keep window, and
-	// a replica isolated past it cannot recover.
+	// serve catch-up only from the in-memory forest keep window, a
+	// replica isolated past it cannot recover, and no safety WAL is
+	// kept (in-process restarts keep the node's memory anyway).
 	DisableLedger bool
+	// UnbufferedLedger opens each replica's ledger with plain Open
+	// instead of OpenBuffered: every append reaches the file before
+	// the commit path moves on, the same durability bamboo-server
+	// runs with. The buffered default is faster but holds a tail of
+	// committed records in memory — exactly the tail a CrashAt loses
+	// on the fleet backend; set this when a switch/tcp scenario must
+	// model the on-disk footprint a real process crash leaves.
+	UnbufferedLedger bool
 }
 
 // Cluster is a running in-process deployment over either backend.
@@ -91,6 +101,7 @@ type Cluster struct {
 	nodes    map[types.NodeID]*core.Node
 	stores   map[types.NodeID]*kvstore.Store
 	ledgers  []*ledger.Ledger
+	wals     []*wal.WAL
 	clients  []*client.Client
 	nextCli  uint64
 	// tmpLedgerDir is the auto-created ledger directory, removed on
@@ -165,6 +176,9 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 		for _, led := range c.ledgers {
 			_ = led.Close()
 		}
+		for _, w := range c.wals {
+			_ = w.Close()
+		}
 		if c.sw != nil {
 			c.sw.Close()
 		}
@@ -204,13 +218,29 @@ func New(cfg config.Config, opts Options) (*Cluster, error) {
 			nodeOpts.CommitSeries = opts.CommitSeries
 		}
 		if ledgerDir != "" {
-			led, err := ledger.OpenBuffered(
+			openLedger := ledger.OpenBuffered
+			if opts.UnbufferedLedger {
+				openLedger = ledger.Open
+			}
+			led, err := openLedger(
 				filepath.Join(ledgerDir, fmt.Sprintf("replica-%d.ledger", i)))
 			if err != nil {
 				return fail(err)
 			}
 			nodeOpts.Ledger = led
 			c.ledgers = append(c.ledgers, led)
+			// The safety WAL rides alongside the ledger: votes and
+			// locks survive a restart over a reused LedgerDir, so
+			// bootstrap can re-commit the full ledger with no
+			// holdback. In-process "crashes" never take the page
+			// cache with them, so the no-sync mode suffices.
+			w, err := wal.OpenNoSync(
+				filepath.Join(ledgerDir, fmt.Sprintf("replica-%d.wal", i)))
+			if err != nil {
+				return fail(err)
+			}
+			nodeOpts.WAL = w
+			c.wals = append(c.wals, w)
 			if withStores {
 				snaps, err := snapshot.OpenStore(
 					filepath.Join(ledgerDir, fmt.Sprintf("replica-%d.snap", i)))
@@ -308,6 +338,10 @@ func (c *Cluster) Stop() {
 			_ = led.Close()
 		}
 		c.ledgers = nil
+		for _, w := range c.wals {
+			_ = w.Close()
+		}
+		c.wals = nil
 		if c.tmpLedgerDir != "" {
 			_ = os.RemoveAll(c.tmpLedgerDir)
 			c.tmpLedgerDir = ""

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/ledger"
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// diskHeight reads how many committed heights have actually reached
+// the ledger file, without disturbing the writer: scan a byte-for-byte
+// copy, so a partial tail record mid-append is tolerated the same way
+// a real crash recovery would tolerate it.
+func diskHeight(t *testing.T, path string) uint64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	cp := filepath.Join(t.TempDir(), "copy.ledger")
+	if err := os.WriteFile(cp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	led, err := ledger.Open(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	return led.Height()
+}
+
+// TestLedgerDurabilityModes pins the difference Options.UnbufferedLedger
+// selects. Buffered (the default): committed records sit in the
+// writer's buffer, so the on-disk file lags the replica's committed
+// height until Stop flushes — the tail a hard process kill would lose.
+// Unbuffered (what bamboo-server runs): every committed height reaches
+// the file as it commits, while the process is still alive.
+func TestLedgerDurabilityModes(t *testing.T) {
+	cfg := testConfig(config.ProtocolHotStuff)
+
+	// Buffered default: disk lags memory until the flush on Stop.
+	dirB := t.TempDir()
+	cb := startCluster(t, cfg, Options{LedgerDir: dirB, WithStores: true})
+	clB, err := cb.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clB.RunClosedLoop(8, 2*time.Second)
+	if err := cb.WaitForHeight(12, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pathB := filepath.Join(dirB, "replica-1.ledger")
+	onDisk := diskHeight(t, pathB)
+	committed := cb.Node(types.NodeID(1)).Status().CommittedHeight
+	if onDisk >= committed {
+		t.Fatalf("buffered ledger has %d of %d committed heights on disk before Stop — no buffering to speak of",
+			onDisk, committed)
+	}
+	cb.Stop()
+	if flushed := diskHeight(t, pathB); flushed < committed {
+		t.Fatalf("buffered ledger flushed only %d of %d heights on Stop", flushed, committed)
+	}
+
+	// Unbuffered: the file keeps pace with the commit path while the
+	// cluster is still running.
+	dirU := t.TempDir()
+	cu := startCluster(t, cfg, Options{LedgerDir: dirU, WithStores: true, UnbufferedLedger: true})
+	clU, err := cu.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clU.RunClosedLoop(8, 2*time.Second)
+	if err := cu.WaitForHeight(12, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The append trails the in-memory commit only by the apply stage's
+	// queue, never by a buffer waiting on Stop.
+	pathU := filepath.Join(dirU, "replica-1.ledger")
+	waitUntil(t, 10*time.Second, "unbuffered appends to reach the file", func() bool {
+		return diskHeight(t, pathU) >= 12
+	})
+	cu.Stop()
+}

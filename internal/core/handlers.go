@@ -393,6 +393,14 @@ func (n *Node) maybeVote(b *types.Block, tc *types.TC) {
 	if !n.rules.VoteRule(b, tc) {
 		return
 	}
+	// The voting rule just advanced lvView; sync it (and the rest of
+	// the durable safety state) to the WAL before the vote exists
+	// anywhere outside this process. A replica whose vote can be
+	// counted by a peer but forgotten by its own restart is one crash
+	// away from equivocating.
+	if !n.persistSafety() {
+		return
+	}
 	// A vote is this replica accepting the block onto its chain:
 	// the event the chain-growth-rate denominator counts
 	// (Section IV-B). Blocks the voting rule rejects never "append"
@@ -583,6 +591,12 @@ func (n *Node) broadcastTimeout(view types.View) {
 	}
 	if view > n.lastTimeoutView {
 		n.lastTimeoutView = view
+	}
+	// Same discipline as votes: the timeout signature must not leave
+	// the node before the view it covers is durable, or a restarted
+	// replica could sign a second, conflicting timeout share for it.
+	if !n.persistSafety() {
+		return
 	}
 	t := &types.Timeout{View: view, Voter: n.id, HighQC: n.rules.HighQC(), Sig: sig}
 	n.net.Broadcast(types.TimeoutMsg{Timeout: t})

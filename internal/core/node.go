@@ -30,6 +30,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/safety"
 	"github.com/bamboo-bft/bamboo/internal/snapshot"
 	"github.com/bamboo-bft/bamboo/internal/types"
+	"github.com/bamboo-bft/bamboo/internal/wal"
 )
 
 // Options configures a replica beyond the run Config.
@@ -67,6 +68,15 @@ type Options struct {
 	// restart cost O(tail missed), not O(chain). A fresh ledger makes
 	// it a no-op.
 	Bootstrap bool
+	// WAL, if non-nil, is the replica's durable safety log: the event
+	// loop syncs {current view, last-voted view, preferred view,
+	// highQC, last timeout view} to it BEFORE any vote or timeout
+	// message leaves the node, and Start restores the persisted state
+	// (seeding the pacemaker at the pre-crash view), so a SIGKILLed
+	// replica can never vote twice in one view — the
+	// amnesia-equivocation window. A failed append refuses the vote:
+	// staying silent is safe, equivocating is not.
+	WAL *wal.WAL
 }
 
 // Status is the replica snapshot published after every commit.
@@ -258,6 +268,19 @@ func (n *Node) Transport() network.Transport { return n.net }
 // reported; correct runs keep this at zero.
 func (n *Node) Violations() uint64 { return n.violations.Load() }
 
+// LedgerHeight reports the highest height the replica's ledger holds
+// on disk — zero without a ledger. Unlike Status().CommittedHeight it
+// trails the in-memory chain only by the apply queue, and it is
+// monotone within a process lifetime, which makes it the right
+// pre-kill anchor for exact-height recovery assertions: everything at
+// or below it must be re-committed by bootstrap replay after a crash.
+func (n *Node) LedgerHeight() uint64 {
+	if n.opts.Ledger == nil {
+		return 0
+	}
+	return n.opts.Ledger.Height()
+}
+
 // Status returns the latest published snapshot.
 func (n *Node) Status() Status {
 	n.statusMu.Lock()
@@ -311,6 +334,7 @@ func (n *Node) Start() {
 	if n.opts.Bootstrap {
 		n.bootstrap()
 	}
+	n.restoreSafety()
 	if n.cfg.AsyncVerify {
 		n.verif = newVerifier(n, n.cfg.VerifyWorkers)
 	}

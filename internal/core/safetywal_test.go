@@ -1,0 +1,167 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/config"
+	"github.com/bamboo-bft/bamboo/internal/crypto"
+	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/protocol/hotstuff"
+	"github.com/bamboo-bft/bamboo/internal/safety"
+	"github.com/bamboo-bft/bamboo/internal/types"
+	"github.com/bamboo-bft/bamboo/internal/wal"
+)
+
+// walFixture is one un-started replica (the highest ID) on a switch
+// whose other slots are raw endpoints, optionally wired to a safety
+// WAL — the direct-drive shape of syncFixture, for vote-level tests.
+type walFixture struct {
+	n      *Node
+	scheme crypto.Scheme
+	peers  map[types.NodeID]*network.Endpoint
+}
+
+func newWALFixture(t *testing.T, cfg config.Config, w *wal.WAL) *walFixture {
+	t.Helper()
+	sw := network.NewSwitch(nil)
+	t.Cleanup(sw.Close)
+	peers := make(map[types.NodeID]*network.Endpoint, cfg.N)
+	var self network.Transport
+	for i := 1; i <= cfg.N; i++ {
+		ep, err := sw.Join(types.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == cfg.N {
+			self = ep
+		} else {
+			peers[types.NodeID(i)] = ep
+		}
+	}
+	scheme, err := crypto.NewScheme(cfg.CryptoScheme, cfg.N, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(types.NodeID(cfg.N), cfg, hotstuff.New, self, scheme, Options{WAL: w})
+	return &walFixture{n: n, scheme: scheme, peers: peers}
+}
+
+// signedBlock builds a view-1 proposal from leader 1 with the given
+// payload marker, properly signed — two different markers give two
+// conflicting blocks a crashed replica could be tricked into voting
+// for twice.
+func (fx *walFixture) signedBlock(t *testing.T, marker byte) *types.Block {
+	t.Helper()
+	b := safety.BuildBlock(1, 1, types.GenesisQC(), []types.Transaction{{
+		ID:      types.TxID{Client: 900, Seq: uint64(marker)},
+		Command: []byte{marker},
+	}})
+	sig, err := fx.scheme.Sign(1, types.SigningDigest(1, b.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Sig = sig
+	return b
+}
+
+// drainVotes empties the view-2 leader's inbox and returns the block
+// IDs this replica voted for.
+func (fx *walFixture) drainVotes() []types.Hash {
+	var got []types.Hash
+	for {
+		select {
+		case env := <-fx.peers[2].Inbox():
+			if m, ok := env.Msg.(types.VoteMsg); ok {
+				got = append(got, m.Vote.BlockID)
+			}
+		default:
+			return got
+		}
+	}
+}
+
+// TestWALPreventsAmnesiaEquivocation is the regression test for the
+// amnesia-equivocation window: a replica votes at view 1, is SIGKILLed
+// (modelled as a fresh node over the same WAL file), and is offered a
+// CONFLICTING view-1 proposal after restart. With the WAL the restored
+// lvView forbids the second signature; the control run without a WAL
+// shows the window this closes — the reborn replica happily signs both
+// blocks, which is Byzantine equivocation produced by a crash fault.
+func TestWALPreventsAmnesiaEquivocation(t *testing.T) {
+	cfg := syncTestCfg()
+	path := filepath.Join(t.TempDir(), "safety.wal")
+	w, err := wal.OpenNoSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fx := newWALFixture(t, cfg, w)
+	first := fx.signedBlock(t, 0x01)
+	fx.n.onProposal(1, types.ProposalMsg{Block: first}, true)
+	if votes := fx.drainVotes(); len(votes) != 1 || votes[0] != first.ID() {
+		t.Fatalf("votes before the crash = %v, want exactly one for %s", votes, first.ID())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and restart: a new node with empty memory, same WAL file.
+	w2, err := wal.OpenNoSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	fx2 := newWALFixture(t, cfg, w2)
+	fx2.n.restoreSafety()
+	if ds := fx2.n.rules.DurableState(); ds.LastVoted != 1 {
+		t.Fatalf("restored lvView = %d, want 1", ds.LastVoted)
+	}
+	conflicting := fx2.signedBlock(t, 0x02)
+	fx2.n.onProposal(1, types.ProposalMsg{Block: conflicting}, true)
+	if votes := fx2.drainVotes(); len(votes) != 0 {
+		t.Fatalf("restarted replica voted again in view 1: %v", votes)
+	}
+
+	// Control: the same crash without a WAL. The reborn replica has
+	// forgotten its view-1 signature and signs the conflicting block —
+	// the exact equivocation the WAL exists to prevent.
+	ctl := newWALFixture(t, cfg, nil)
+	ctl.n.onProposal(1, types.ProposalMsg{Block: first}, true)
+	reborn := newWALFixture(t, cfg, nil)
+	reborn.n.onProposal(1, types.ProposalMsg{Block: conflicting}, true)
+	if votes := reborn.drainVotes(); len(votes) != 1 || votes[0] != conflicting.ID() {
+		t.Fatalf("control without WAL did not double-vote (votes %v) — the window this test pins is gone", votes)
+	}
+}
+
+// TestWALRestoreRejoinsAtPersistedView: the pacemaker rejoins at the
+// record's current view, so no view the pre-crash process could have
+// signed in is ever re-entered.
+func TestWALRestoreRejoinsAtPersistedView(t *testing.T) {
+	cfg := syncTestCfg()
+	path := filepath.Join(t.TempDir(), "safety.wal")
+	w, err := wal.OpenNoSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(wal.Record{CurView: 9, LastVoted: 8, LastTimeout: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := wal.OpenNoSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	fx := newWALFixture(t, cfg, w2)
+	fx.n.restoreSafety()
+	if v := fx.n.pm.CurView(); v != 9 {
+		t.Fatalf("rejoined at view %d, want the persisted view 9", v)
+	}
+	if fx.n.lastTimeoutView != 7 {
+		t.Fatalf("timeout high-water mark %d, want 7", fx.n.lastTimeoutView)
+	}
+}

@@ -417,11 +417,10 @@ func TestBootstrapReplaysOwnLedger(t *testing.T) {
 	fx.n.opts.Bootstrap = true
 	fx.n.bootstrap()
 
-	// The top replayHoldback blocks stay certified-but-uncommitted
-	// (votes are not persisted, so a re-certified fork near the old
-	// tip must stay survivable); everything below is committed and
-	// executed.
-	wantCommitted := uint64(20 - replayHoldback)
+	// The FULL ledger is re-committed, tip included: the safety WAL
+	// closed the amnesia window that used to force a held-back tail,
+	// so every persisted height is committed, executed, and counted.
+	const wantCommitted = uint64(20)
 	if h := fx.n.forest.CommittedHeight(); h != wantCommitted {
 		t.Fatalf("bootstrap committed height %d, want %d", h, wantCommitted)
 	}
@@ -431,13 +430,6 @@ func TestBootstrapReplaysOwnLedger(t *testing.T) {
 	if got := fx.n.Pipeline().Snapshot().ReplayedBlocks; got != wantCommitted {
 		t.Fatalf("ReplayedBlocks = %d, want %d", got, wantCommitted)
 	}
-	// The held-back tail is attached and certified, ready to be
-	// re-committed by the live chain.
-	for _, b := range fx.chain[int(wantCommitted):20] {
-		if !fx.n.forest.IsCertified(b.ID()) {
-			t.Fatalf("held-back block %s not certified in the forest", b.ID())
-		}
-	}
 	// The freshest replayed certificate — the tip's own, at the tip's
 	// view — sets the rejoin view.
 	if v := fx.n.pm.CurView(); v != fx.chain[19].View+1 {
@@ -446,8 +438,8 @@ func TestBootstrapReplaysOwnLedger(t *testing.T) {
 	if h, ok := fx.n.HashAt(7); !ok || h != fx.chain[6].ID() {
 		t.Fatal("replayed hashes not published")
 	}
-	// The ledger rolled back to the committed point so the held-back
-	// heights re-append contiguously when the live chain re-commits.
+	// Nothing was rolled back: live appends continue right above the
+	// replayed tip.
 	if led.Height() != wantCommitted {
 		t.Fatalf("ledger height %d after bootstrap, want %d", led.Height(), wantCommitted)
 	}
@@ -483,7 +475,7 @@ func TestBootstrapFromSnapshotAndSuffix(t *testing.T) {
 	fx.n.opts.Bootstrap = true
 	fx.n.bootstrap()
 
-	wantCommitted := uint64(36 - replayHoldback)
+	const wantCommitted = uint64(36)
 	if h := fx.n.forest.CommittedHeight(); h != wantCommitted {
 		t.Fatalf("bootstrap committed height %d, want %d", h, wantCommitted)
 	}
@@ -493,7 +485,7 @@ func TestBootstrapFromSnapshotAndSuffix(t *testing.T) {
 	}
 	p := fx.n.Pipeline().Snapshot()
 	if p.ReplayedBlocks != wantCommitted-30 {
-		t.Fatalf("ReplayedBlocks = %d, want only the committed suffix of %d",
+		t.Fatalf("ReplayedBlocks = %d, want the full suffix of %d",
 			p.ReplayedBlocks, wantCommitted-30)
 	}
 	st := fx.n.Status()

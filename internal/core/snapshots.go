@@ -110,7 +110,13 @@ func (n *Node) applyInstall(snap *snapshot.Snapshot) {
 			// Without a durable replacement the old ledger must stay.
 			return
 		}
-		_ = n.opts.Ledger.ResetTo(snap.Height)
+		if err := n.opts.Ledger.ResetTo(snap.Height); err != nil {
+			// A stale ledger under a fresh snapshot is the crash
+			// window bootstrap already resolves, but a re-base that
+			// fails while the process lives deserves a page: appends
+			// are now rejected until the next restart completes it.
+			n.warn(fmt.Errorf("snapshot install at height %d: ledger re-base: %w", snap.Height, err))
+		}
 		return
 	}
 	if n.opts.Snapshots != nil {
@@ -177,23 +183,6 @@ func (n *Node) onSnapshotRequest(from types.NodeID, m types.SnapshotRequestMsg) 
 // corruption — the walked prefix stays installed.
 var errReplayHalt = errors.New("core: replay halted")
 
-// replayHoldback is how many blocks at the top of the replayed ledger
-// are NOT re-committed: they enter the forest certified (their
-// recorded certificates are real) but uncommitted and unexecuted, and
-// the ledger is truncated back to the committed point. The reason is
-// crash-recovery safety under amnesia: votes and locks are not
-// persisted, so after a whole-cluster restart a quorum could
-// legitimately re-certify a different block near the old tip — peers
-// whose ledgers stopped a wave earlier never knew ours existed. A
-// block this replica committed is backed by a certified three-chain,
-// which bounds how far honest committed heights can disagree at a
-// halt; holding back the deepest commit rule's chain depth keeps a
-// re-certified fork from ever conflicting with something we both
-// re-executed and re-served. The held-back blocks are re-committed by
-// the live chain's certificates within a wave of rejoining (and
-// re-appended to the ledger, byte-identical, as that happens).
-const replayHoldback = syncHoldback
-
 // bootstrap rebuilds the replica from its own disk before it joins:
 // restore the latest local snapshot (if any) into state machine and
 // forest, then replay the ledger suffix above it block by block
@@ -203,6 +192,14 @@ const replayHoldback = syncHoldback
 // deep ones). Certificates replayed from the local ledger are not
 // re-verified: the file is this replica's own committed chain,
 // integrity-checked record by record at open.
+//
+// The FULL ledger is re-committed, tip included. Every persisted
+// record was committed before the crash, and the safety WAL closes
+// the amnesia window that used to make this unsafe: votes and locks
+// now survive restarts, so no quorum can re-certify a conflicting
+// block at the old tip's views — the holdback that once truncated the
+// top of the replayed chain is gone, and a restarted replica recovers
+// to its exact pre-crash committed height.
 func (n *Node) bootstrap() {
 	led := n.opts.Ledger
 	var floor uint64
@@ -234,22 +231,16 @@ func (n *Node) bootstrap() {
 		// its ledger re-base. Complete the re-base now so appends
 		// continue from the snapshot height.
 		if led.Height() < floor || led.Base() < floor {
-			_ = led.ResetTo(floor)
+			if err := led.ResetTo(floor); err != nil {
+				n.warn(fmt.Errorf("bootstrap: ledger re-base to %d: %w", floor, err))
+			}
 		}
 		n.publishStatus()
 		return
 	}
-	// Two-cursor walk: blocks enter the forest (certified) as they
-	// stream, but commit and execution trail replayHoldback behind.
-	commitUpTo := led.Height()
-	if commitUpTo >= floor+replayHoldback {
-		commitUpTo -= replayHoldback
-	} else {
-		commitUpTo = floor
-	}
 	var replayed uint64
 	var maxQC *types.QC
-	_ = led.ReplayCertified(func(b *types.Block, h uint64, selfQC *types.QC) error {
+	replayErr := led.ReplayCertified(func(b *types.Block, h uint64, selfQC *types.QC) error {
 		if h <= floor {
 			return nil
 		}
@@ -273,9 +264,6 @@ func (n *Node) bootstrap() {
 				maxQC = selfQC
 			}
 		}
-		if h > commitUpTo {
-			return nil // held back: certified, not committed
-		}
 		if _, err := n.forest.Commit(b.ID()); err != nil {
 			return errReplayHalt
 		}
@@ -288,9 +276,17 @@ func (n *Node) bootstrap() {
 		replayed++
 		return nil
 	})
-	// Roll the file back to the committed point: the held-back tail
-	// is re-appended by the live commit path as it re-certifies.
-	_ = led.TruncateTo(n.forest.CommittedHeight())
+	if replayErr != nil {
+		// A halted replay (a record that would not attach — not the
+		// clean tail truncation Open already repaired) leaves records
+		// above the committed point. Roll the file back so live
+		// appends continue from the replayed head; a failed truncate
+		// would let the next replay re-apply those records against
+		// state that has since diverged, so it must not pass silently.
+		if err := led.TruncateTo(n.forest.CommittedHeight()); err != nil {
+			n.warn(fmt.Errorf("bootstrap: truncate after halted replay: %w", err))
+		}
+	}
 	if replayed > 0 || maxQC != nil {
 		n.pipeline.OnBlocksReplayed(replayed)
 		if maxQC != nil {

@@ -98,6 +98,22 @@ func TestSameScenarioAllBackends(t *testing.T) {
 				if res.Pipeline.ReplayedBlocks == 0 {
 					t.Fatalf("fleet restart replayed no ledger blocks: %+v", res.Pipeline)
 				}
+				// Exact-height recovery, anchored just before the
+				// SIGKILL: the victim finished at or above its
+				// pre-kill committed height (the safety WAL retired
+				// the replay holdback), and the bootstrap replay
+				// covered at least the pre-kill ledger.
+				if len(res.PreKillHeights) != res.Config.N || res.PreKillHeights[1] == 0 {
+					t.Fatalf("no pre-kill anchor recorded for the victim: %v", res.PreKillHeights)
+				}
+				if res.Heights[1] < res.PreKillHeights[1] {
+					t.Fatalf("victim finished at height %d, below its pre-kill committed height %d",
+						res.Heights[1], res.PreKillHeights[1])
+				}
+				if res.Pipeline.ReplayedBlocks < res.PreKillLedgerHeights[1] {
+					t.Fatalf("replay covered %d blocks, pre-kill ledger held %d",
+						res.Pipeline.ReplayedBlocks, res.PreKillLedgerHeights[1])
+				}
 			}
 		})
 	}

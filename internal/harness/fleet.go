@@ -12,6 +12,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/fleet"
 	"github.com/bamboo-bft/bamboo/internal/metrics"
+	"github.com/bamboo-bft/bamboo/internal/network"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -66,10 +67,11 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 	epoch := time.Now()
 	stop := make(chan struct{})
 	faultsDone := make(chan struct{})
+	kills := &preKillRecorder{f: f}
 	if len(exp.Faults) > 0 {
 		go func() {
 			defer close(faultsDone)
-			exp.Faults.run(f, epoch, stop, nil)
+			exp.Faults.run(kills, epoch, stop, nil)
 		}()
 	} else {
 		close(faultsDone)
@@ -172,6 +174,18 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 	for i := 1; i <= cfg.N; i++ {
 		res.Pids[i-1] = pids[types.NodeID(i)]
 	}
+	// The fault goroutine has joined (<-faultsDone above), so the
+	// recorder's maps are quiescent here.
+	if len(kills.committed) > 0 {
+		res.PreKillHeights = make([]uint64, cfg.N)
+		res.PreKillLedgerHeights = make([]uint64, cfg.N)
+		for id, h := range kills.committed {
+			res.PreKillHeights[id-1] = h
+		}
+		for id, h := range kills.ledger {
+			res.PreKillLedgerHeights[id-1] = h
+		}
+	}
 
 	if err := fleetConsistencyCheck(f, cfg, heights, reached); err != nil {
 		return p, err
@@ -184,6 +198,45 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 		return p, fmt.Errorf("harness: %d safety violations", res.Violations)
 	}
 	return p, nil
+}
+
+// preKillRecorder is the fault target the fleet step really runs the
+// schedule against: it interposes on Crash to snapshot the victim's
+// committed and on-disk ledger heights over HTTP in the instant before
+// the SIGKILL lands, and passes everything else straight through. The
+// two heights are the anchors of the exact-height recovery verdict —
+// the ledger height is monotone while the process lives, so whatever
+// is recorded here lower-bounds what the next incarnation's bootstrap
+// replay must re-commit. The schedule runs in a single goroutine, so
+// the maps need no locking; readers wait for that goroutine to join.
+type preKillRecorder struct {
+	f         *fleet.Fleet
+	committed map[types.NodeID]uint64
+	ledger    map[types.NodeID]uint64
+}
+
+func (r *preKillRecorder) ApplyConditions(spec network.ConditionsSpec) {
+	r.f.ApplyConditions(spec)
+}
+
+func (r *preKillRecorder) Restart(id types.NodeID) { r.f.Restart(id) }
+
+func (r *preKillRecorder) Crash(id types.NodeID) {
+	if rr, err := r.f.ReplicaResult(id); err == nil {
+		if r.committed == nil {
+			r.committed = make(map[types.NodeID]uint64)
+			r.ledger = make(map[types.NodeID]uint64)
+		}
+		// A replica killed twice keeps its highest anchors: recovery
+		// must reach the furthest point any incarnation got to.
+		if rr.CommittedHeight > r.committed[id] {
+			r.committed[id] = rr.CommittedHeight
+		}
+		if rr.LedgerHeight > r.ledger[id] {
+			r.ledger[id] = rr.LedgerHeight
+		}
+	}
+	r.f.Crash(id)
 }
 
 // fleetConsistencyCheck is the cluster's cross-replica consistency

@@ -204,6 +204,18 @@ type Result struct {
 	// recovered by installing a snapshot rather than streaming the
 	// whole gap.
 	SnapshotHeights []uint64 `json:"snapshotHeights,omitempty"`
+	// PreKillHeights and PreKillLedgerHeights record, per replica
+	// (index is ID minus one), the committed height and the on-disk
+	// ledger height fetched in the instant before that replica's
+	// process was SIGKILLed — zero for replicas never killed. They
+	// anchor the exact-height recovery verdict of kill/restart
+	// scenarios: with the safety WAL there is no replay holdback, so a
+	// restarted replica must re-commit at least its pre-kill ledger on
+	// bootstrap (ReplayedBlocks >= PreKillLedgerHeights[i]) and finish
+	// the run at or above its pre-kill committed height. Fleet backend
+	// only — in-process crashes never lose the replica's memory.
+	PreKillHeights       []uint64 `json:"preKillHeights,omitempty"`
+	PreKillLedgerHeights []uint64 `json:"preKillLedgerHeights,omitempty"`
 	// Pids records, on the fleet backend, the OS process ID of every
 	// replica's latest incarnation (index is replica ID minus one) —
 	// the audit trail that the run really was multi-process and that

@@ -84,14 +84,20 @@ func (s *Server) handleConditions(w http.ResponseWriter, r *http.Request) {
 // auditable — a merged fleet result can prove each replica ran in its
 // own OS process (and that a restart leg really re-exec'd).
 type ReplicaResult struct {
-	ID              uint64                 `json:"id"`
-	Pid             int                    `json:"pid"`
-	CommittedHeight uint64                 `json:"committedHeight"`
-	SnapshotHeight  uint64                 `json:"snapshotHeight"`
-	Violations      uint64                 `json:"violations"`
-	Chain           metrics.ChainStats     `json:"chain"`
-	Pipeline        metrics.PipelineStats  `json:"pipeline"`
-	Transport       network.TransportStats `json:"transport"`
+	ID              uint64 `json:"id"`
+	Pid             int    `json:"pid"`
+	CommittedHeight uint64 `json:"committedHeight"`
+	// LedgerHeight is the highest height on the replica's disk ledger
+	// at fetch time. Fetched just before a SIGKILL it lower-bounds
+	// what the next incarnation must replay: the ledger only grows
+	// while the process lives, so a full-ledger bootstrap replay
+	// re-commits at least this many heights.
+	LedgerHeight   uint64                 `json:"ledgerHeight"`
+	SnapshotHeight uint64                 `json:"snapshotHeight"`
+	Violations     uint64                 `json:"violations"`
+	Chain          metrics.ChainStats     `json:"chain"`
+	Pipeline       metrics.PipelineStats  `json:"pipeline"`
+	Transport      network.TransportStats `json:"transport"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, _ *http.Request) {
@@ -100,6 +106,7 @@ func (s *Server) handleResult(w http.ResponseWriter, _ *http.Request) {
 		ID:              uint64(s.node.ID()),
 		Pid:             os.Getpid(),
 		CommittedHeight: st.CommittedHeight,
+		LedgerHeight:    s.node.LedgerHeight(),
 		SnapshotHeight:  st.SnapshotHeight,
 		Violations:      s.node.Violations(),
 		Chain:           s.node.Tracker().Snapshot(),

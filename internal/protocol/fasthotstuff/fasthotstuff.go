@@ -82,6 +82,24 @@ func (f *FastHotStuff) CommitRule(qc *types.QC) *types.Block {
 // HighQC implements safety.Rules.
 func (f *FastHotStuff) HighQC() *types.QC { return f.highQC }
 
+// DurableState implements safety.Rules.
+func (f *FastHotStuff) DurableState() safety.DurableState {
+	return safety.DurableState{LastVoted: f.lastVoted, Preferred: f.preferred, HighQC: f.highQC}
+}
+
+// Restore implements safety.Rules (monotone merge; see hotstuff).
+func (f *FastHotStuff) Restore(s safety.DurableState) {
+	if s.LastVoted > f.lastVoted {
+		f.lastVoted = s.LastVoted
+	}
+	if s.Preferred > f.preferred {
+		f.preferred = s.Preferred
+	}
+	if s.HighQC != nil && s.HighQC.View > f.highQC.View {
+		f.highQC = s.HighQC.Clone()
+	}
+}
+
 // Policy: responsive thanks to the aggregated-QC justification.
 func (f *FastHotStuff) Policy() safety.Policy {
 	return safety.Policy{ResponsiveDefault: true}

@@ -93,3 +93,24 @@ func (h *HotStuff) Policy() safety.Policy {
 // HighQC exposes the current highest QC (used by the engine when
 // broadcasting timeouts and by the Byzantine strategy wrappers).
 func (h *HotStuff) HighQC() *types.QC { return h.highQC }
+
+// DurableState implements safety.Rules: lvView, the lock, and hQC are
+// exactly the state a crash must not erase.
+func (h *HotStuff) DurableState() safety.DurableState {
+	return safety.DurableState{LastVoted: h.lastVoted, Preferred: h.preferred, HighQC: h.highQC}
+}
+
+// Restore implements safety.Rules with a monotone merge: views only
+// move up and the certificate is adopted only if fresher, so restoring
+// after ledger replay can never regress what the replay rebuilt.
+func (h *HotStuff) Restore(s safety.DurableState) {
+	if s.LastVoted > h.lastVoted {
+		h.lastVoted = s.LastVoted
+	}
+	if s.Preferred > h.preferred {
+		h.preferred = s.Preferred
+	}
+	if s.HighQC != nil && s.HighQC.View > h.highQC.View {
+		h.highQC = s.HighQC.Clone()
+	}
+}

@@ -43,6 +43,12 @@ func (o *OHS) CommitRule(qc *types.QC) *types.Block { return o.inner.CommitRule(
 // HighQC implements safety.Rules.
 func (o *OHS) HighQC() *types.QC { return o.inner.HighQC() }
 
+// DurableState implements safety.Rules.
+func (o *OHS) DurableState() safety.DurableState { return o.inner.DurableState() }
+
+// Restore implements safety.Rules.
+func (o *OHS) Restore(s safety.DurableState) { o.inner.Restore(s) }
+
 // Policy implements safety.Rules.
 func (o *OHS) Policy() safety.Policy {
 	p := o.inner.Policy()

@@ -83,6 +83,21 @@ func (s *Streamlet) HighQC() *types.QC {
 	return types.GenesisQC()
 }
 
+// DurableState implements safety.Rules: lvView is Streamlet's only
+// local state variable — the notarized chain lives in the forest and
+// is rebuilt by ledger replay, so HighQC here is informational.
+func (s *Streamlet) DurableState() safety.DurableState {
+	return safety.DurableState{LastVoted: s.lastVoted, HighQC: s.HighQC()}
+}
+
+// Restore implements safety.Rules: only lvView is local; the forest
+// (and hence HighQC) is rebuilt by replay, not by this merge.
+func (s *Streamlet) Restore(ds safety.DurableState) {
+	if ds.LastVoted > s.lastVoted {
+		s.lastVoted = ds.LastVoted
+	}
+}
+
 // Policy: votes are broadcast, messages echoed, and liveness depends
 // on timeouts (no optimistic responsiveness).
 func (s *Streamlet) Policy() safety.Policy {

@@ -76,6 +76,24 @@ func (t *TwoChain) CommitRule(qc *types.QC) *types.Block {
 // HighQC implements safety.Rules.
 func (t *TwoChain) HighQC() *types.QC { return t.highQC }
 
+// DurableState implements safety.Rules.
+func (t *TwoChain) DurableState() safety.DurableState {
+	return safety.DurableState{LastVoted: t.lastVoted, Preferred: t.preferred, HighQC: t.highQC}
+}
+
+// Restore implements safety.Rules (monotone merge; see hotstuff).
+func (t *TwoChain) Restore(s safety.DurableState) {
+	if s.LastVoted > t.lastVoted {
+		t.lastVoted = s.LastVoted
+	}
+	if s.Preferred > t.preferred {
+		t.preferred = s.Preferred
+	}
+	if s.HighQC != nil && s.HighQC.View > t.highQC.View {
+		t.highQC = s.HighQC.Clone()
+	}
+}
+
 // Policy implements safety.Rules: 2CHS is not responsive — after a
 // view change the leader must wait the maximal network delay, because
 // replicas are locked on a one-chain the leader may not have seen.

@@ -46,8 +46,31 @@ type Rules interface {
 	// walks back from.
 	HighQC() *types.QC
 
+	// DurableState reports the crash-critical slice of the protocol's
+	// voting state — what the engine syncs to the safety WAL before a
+	// vote or timeout leaves the replica. Protocols whose state lives
+	// in the forest (Streamlet) report only what is truly local.
+	DurableState() DurableState
+
+	// Restore merges a previously persisted DurableState back in
+	// after a restart. The merge is monotone — views only move up,
+	// and a certificate is adopted only if fresher — so it composes
+	// with whatever ledger replay already rebuilt.
+	Restore(DurableState)
+
 	// Policy reports the protocol's fixed design choices.
 	Policy() Policy
+}
+
+// DurableState is the protocol state that must survive a crash for
+// the voting rule to stay safe across it: the last voted view (lvView
+// — a replica that forgets it can vote twice in one view, which is
+// equivocation), the lock (preferred view), and the highest known
+// certificate.
+type DurableState struct {
+	LastVoted types.View
+	Preferred types.View
+	HighQC    *types.QC
 }
 
 // Policy captures per-protocol design choices the engine must honour.

@@ -1,0 +1,358 @@
+// Package wal persists the durable safety state of one replica: the
+// few words of protocol state (last-voted view, preferred view, the
+// highest known certificate, the pacemaker's current view) that must
+// survive a crash for the voting rule to stay safe across it, plus
+// the short certified-but-uncommitted block suffix that makes the
+// restored lock satisfiable after a whole-cluster crash. Without the
+// views a SIGKILLed replica forgets it ever voted and can vote twice
+// in the same view after restart — Byzantine equivocation produced by
+// a crash fault. The engine appends a record BEFORE any vote or
+// timeout message leaves the node, so by the time a peer can count
+// this replica's signature the state that forbids a second one is on
+// disk.
+//
+// The format mirrors the ledger's: length-prefixed, self-contained gob
+// records, with a CRC32 of the body in each frame (safety state is
+// small and precious — a bit flip must be a clean rejection, not a
+// silently wrong lock). Crash recovery follows the same rule as the
+// ledger: a truncated final frame is the footprint of a crash
+// mid-append and is cut off at Open; a frame that is structurally
+// complete but fails its checksum or decode is real corruption and is
+// reported as an error.
+//
+// Every record supersedes all earlier ones, so the log is compacted
+// back to a single record at Open and periodically during appends
+// (atomic write-then-rename, like snapshot saves).
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+// Record is one durable-safety snapshot. Later records supersede
+// earlier ones entirely; only the last intact record matters.
+type Record struct {
+	// CurView is the pacemaker view at the time of the append. A
+	// restarted replica rejoins at this view, so it can never vote
+	// below the views its pre-crash signatures already covered.
+	CurView types.View
+	// LastVoted is the protocol's lvView — the highest view this
+	// replica has signed a block vote for.
+	LastVoted types.View
+	// Preferred is the protocol's lock (preferred view); restoring it
+	// keeps a rebooted replica from voting for a branch that forks
+	// below what it had locked.
+	Preferred types.View
+	// LastTimeout is the highest view this replica signed a timeout
+	// for (the engine's f+1 join rule signs each view at most once).
+	LastTimeout types.View
+	// HighQC is the freshest certificate the protocol would extend.
+	HighQC *types.QC
+	// Suffix is the certified-but-uncommitted block path from just
+	// above the committed tip up to HighQC's block, ascending by
+	// height. A restored lock points at these blocks, and after a
+	// whole-cluster crash nobody else has them either (only committed
+	// blocks reach ledgers): without the suffix the lock is a promise
+	// no proposal can ever satisfy — every replica waits for a
+	// certificate at least as fresh as a block the cluster has
+	// collectively forgotten, which is a deadlock, not safety. With
+	// it, restore re-attaches the blocks to the replayed chain and the
+	// restored HighQC is immediately extendable.
+	Suffix []*types.Block
+}
+
+// ErrCorrupt reports a frame that is structurally complete but fails
+// its checksum or decode — real corruption, distinct from the
+// truncated tail a crash mid-append leaves (which Open repairs
+// silently, like the ledger).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// maxFrame bounds a frame body: a record is a few views, one QC, and
+// the short certified-but-uncommitted block suffix (a handful of
+// blocks with payloads), so anything larger is corruption, not data.
+// It also keeps a hostile length prefix from driving a giant
+// allocation at Open. Append re-encodes without the suffix rather
+// than ever writing a frame this bound would reject.
+const maxFrame = 1 << 24
+
+// compactEvery is how many appends accumulate before the file is
+// rewritten down to its single live record.
+const compactEvery = 1024
+
+// WAL is the append-only safety log of one replica. Appends are
+// serialized internally; the engine calls it from its single event
+// loop anyway.
+type WAL struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	sync   bool
+	latest *Record
+	// sinceCompact counts appends since the file last held one record.
+	sinceCompact int
+	closed       bool
+}
+
+// Open opens (or creates) the safety log at path with fsync-per-append
+// durability: Append returns only once the record is on stable
+// storage, which is what lets a vote leave the node afterwards. Any
+// records already present are scanned, the damaged tail of a crash
+// mid-append is cut off, and the file is compacted to the last intact
+// record. Structural corruption is reported as an error.
+func Open(path string) (*WAL, error) {
+	return open(path, true)
+}
+
+// OpenNoSync is Open without the per-append fsync: records reach the
+// page cache but survive only process death, not machine crash. It is
+// the in-process cluster's mode, where a "crash" never takes the OS
+// with it — the same durability trade the ledger's OpenBuffered makes.
+func OpenNoSync(path string) (*WAL, error) {
+	return open(path, false)
+}
+
+func open(path string, fsync bool) (*WAL, error) {
+	latest, end, count, err := scan(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > end {
+		// Crash footprint: a partial frame past the last intact record.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: recover tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{path: path, f: f, sync: fsync, latest: latest}
+	if count > 1 {
+		if err := w.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// scan reads the log at path, returning the last intact record, the
+// end offset of the last intact frame, and how many intact frames the
+// file holds. A missing file is an empty log.
+func scan(path string) (latest *Record, end int64, count int, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	off := int64(0)
+	for int64(len(data)) > off {
+		rec, next, status := readFrame(data, off)
+		switch status {
+		case frameOK:
+			latest, off, count = rec, next, count+1
+		case frameTruncated:
+			return latest, off, count, nil
+		default: // frameCorrupt
+			return nil, 0, 0, fmt.Errorf("%w at offset %d in %s", ErrCorrupt, off, path)
+		}
+	}
+	return latest, off, count, nil
+}
+
+type frameStatus int
+
+const (
+	frameOK frameStatus = iota
+	frameTruncated
+	frameCorrupt
+)
+
+// readFrame decodes the frame starting at off: uvarint body length,
+// 4-byte CRC32 (IEEE) of the body, gob body. A frame that runs past
+// the end of data is truncated (crash footprint); a frame whose length
+// is implausible or whose body fails the checksum or decode is
+// corrupt.
+func readFrame(data []byte, off int64) (*Record, int64, frameStatus) {
+	size, n := binary.Uvarint(data[off:])
+	if n == 0 {
+		return nil, 0, frameTruncated
+	}
+	if n < 0 || size > maxFrame {
+		return nil, 0, frameCorrupt
+	}
+	body := off + int64(n) + 4
+	end := body + int64(size)
+	if end > int64(len(data)) {
+		return nil, 0, frameTruncated
+	}
+	sum := binary.LittleEndian.Uint32(data[off+int64(n) : body])
+	if crc32.ChecksumIEEE(data[body:end]) != sum {
+		return nil, 0, frameCorrupt
+	}
+	var rec Record
+	if err := gob.NewDecoder(bytes.NewReader(data[body:end])).Decode(&rec); err != nil {
+		return nil, 0, frameCorrupt
+	}
+	return &rec, end, frameOK
+}
+
+// encodeFrame renders one record as a complete frame.
+func encodeFrame(rec *Record) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return nil, fmt.Errorf("wal: encode: %w", err)
+	}
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(body.Len()))
+	frame := make([]byte, 0, n+4+body.Len())
+	frame = append(frame, lenb[:n]...)
+	var sumb [4]byte
+	binary.LittleEndian.PutUint32(sumb[:], crc32.ChecksumIEEE(body.Bytes()))
+	frame = append(frame, sumb[:]...)
+	return append(frame, body.Bytes()...), nil
+}
+
+// Latest returns a copy of the last durable record, or nil for an
+// empty log.
+func (w *WAL) Latest() *Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.latest == nil {
+		return nil
+	}
+	rec := *w.latest
+	if rec.HighQC != nil {
+		rec.HighQC = rec.HighQC.Clone()
+	}
+	if len(rec.Suffix) > 0 {
+		// Blocks are immutable once built; copying the slice header is
+		// enough to decouple the caller from later appends.
+		rec.Suffix = append([]*types.Block(nil), rec.Suffix...)
+	}
+	return &rec
+}
+
+// Append makes rec the durable safety state. In fsync mode it returns
+// only once the record is on stable storage — callers send the vote or
+// timeout the record covers strictly after Append returns nil.
+func (w *WAL) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: closed")
+	}
+	frame, err := encodeFrame(&rec)
+	if err != nil {
+		return err
+	}
+	if len(frame) > maxFrame {
+		// A pathologically deep uncommitted suffix (views certifying
+		// without committing for a long stretch) can outgrow the frame
+		// bound. Drop the blocks and keep the views and certificate —
+		// a written frame must never be one Open would call corrupt.
+		rec.Suffix = nil
+		if frame, err = encodeFrame(&rec); err != nil {
+			return err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	cp := rec
+	if cp.HighQC != nil {
+		cp.HighQC = cp.HighQC.Clone()
+	}
+	w.latest = &cp
+	w.sinceCompact++
+	if w.sinceCompact >= compactEvery {
+		// Best-effort: a failed compaction only means the file stays
+		// larger than one record; the append above is already durable.
+		_ = w.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the file down to the single live record,
+// atomically (write tmp, sync, rename), and swaps the handle onto the
+// new file.
+func (w *WAL) compactLocked() error {
+	var frame []byte
+	if w.latest != nil {
+		var err error
+		if frame, err = encodeFrame(w.latest); err != nil {
+			return err
+		}
+	}
+	tmp := w.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if _, err := tf.Write(frame); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	// Make the rename itself durable before retiring the old handle.
+	if w.sync {
+		if dir, derr := os.Open(filepath.Dir(w.path)); derr == nil {
+			_ = dir.Sync()
+			dir.Close()
+		}
+	}
+	old := w.f
+	w.f = tf
+	old.Close()
+	w.sinceCompact = 0
+	return nil
+}
+
+// Close releases the file handle. The log stays valid on disk.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string {
+	return w.path
+}

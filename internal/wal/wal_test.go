@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bamboo-bft/bamboo/internal/types"
+)
+
+func testQC(view types.View) *types.QC {
+	return &types.QC{
+		View:    view,
+		BlockID: types.Hash{byte(view), 0xab},
+		Signers: []types.NodeID{1, 2, 3},
+		Sigs:    [][]byte{{1}, {2}, {3}},
+	}
+}
+
+func testRecord(view types.View) Record {
+	qc := testQC(view)
+	return Record{
+		CurView:     view,
+		LastVoted:   view,
+		Preferred:   view - 1,
+		LastTimeout: view - 2,
+		HighQC:      qc,
+		Suffix: []*types.Block{
+			{View: view - 1, Proposer: 2, Parent: types.Hash{0x01}, QC: testQC(view - 2),
+				Payload: []types.Transaction{{ID: types.TxID{Client: 7, Seq: 1}, Command: []byte("x")}}},
+			{View: view, Proposer: 3, Parent: types.Hash{0x02}, QC: testQC(view - 1)},
+		},
+	}
+}
+
+func TestAppendLatestReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "safety.wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Latest() != nil {
+		t.Fatal("fresh log has a record")
+	}
+	for v := types.View(3); v <= 12; v++ {
+		if err := w.Append(testRecord(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := w.Latest()
+	if rec == nil || rec.CurView != 12 || rec.LastVoted != 12 || rec.Preferred != 11 {
+		t.Fatalf("latest = %+v, want the view-12 record", rec)
+	}
+	if rec.HighQC == nil || rec.HighQC.View != 12 || len(rec.HighQC.Sigs) != 3 {
+		t.Fatalf("latest HighQC = %+v", rec.HighQC)
+	}
+	if len(rec.Suffix) != 2 || rec.Suffix[1].View != 12 || len(rec.Suffix[0].Payload) != 1 {
+		t.Fatalf("latest suffix = %+v", rec.Suffix)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	rec = w2.Latest()
+	if rec == nil || rec.CurView != 12 || len(rec.Suffix) != 2 {
+		t.Fatalf("reopened latest = %+v, want the view-12 record", rec)
+	}
+	// Open compacts a multi-record log down to its single live record.
+	if fi, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	} else if frame, _ := encodeFrame(rec); fi.Size() != int64(len(frame)) {
+		t.Fatalf("file is %d bytes after compaction, one frame is %d", fi.Size(), len(frame))
+	}
+}
+
+func TestTruncatedTailIsRepaired(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "safety.wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecord(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecord(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves a partial frame: any proper prefix of a
+	// valid frame must be cut off, not reported as corruption.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := encodeFrame(&Record{CurView: 7, LastVoted: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 5, len(frame) - 1} {
+		if err := os.WriteFile(path, append(append([]byte(nil), full...), frame[:cut]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		rec := w.Latest()
+		if rec == nil || rec.CurView != 6 {
+			t.Fatalf("cut=%d: latest = %+v, want the view-6 record", cut, rec)
+		}
+		// The repaired log accepts appends and survives another reopen.
+		if err := w.Append(testRecord(8)); err != nil {
+			t.Fatalf("cut=%d: append after repair: %v", cut, err)
+		}
+		w.Close()
+	}
+}
+
+func TestCorruptFrameIsRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "safety.wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecord(5)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the body: structurally complete, checksum broken.
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("bit flip opened cleanly")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("corrupt")) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestOversizedSuffixIsDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "safety.wal")
+	w, err := OpenNoSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rec := testRecord(9)
+	rec.Suffix = []*types.Block{{View: 8, QC: testQC(7),
+		Payload: []types.Transaction{{Command: make([]byte, maxFrame+1)}}}}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	got := w.Latest()
+	if got == nil || got.CurView != 9 || got.HighQC == nil {
+		t.Fatalf("latest = %+v, want views and certificate intact", got)
+	}
+	// The views and certificate stay; only the blocks are shed — and the
+	// written frame must still be readable.
+	w2, err := OpenNoSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec := w2.Latest(); rec == nil || rec.CurView != 9 || len(rec.Suffix) != 0 {
+		t.Fatalf("reopened latest = %+v, want suffix-free view-9 record", rec)
+	}
+}
+
+// FuzzWAL feeds arbitrary bytes to Open: whatever is on disk, Open
+// must either restore a record or reject cleanly — never panic, and
+// never leave a log that cannot take appends.
+func FuzzWAL(f *testing.F) {
+	f.Add([]byte{})
+	if frame, err := encodeFrame(&Record{CurView: 3, LastVoted: 3, HighQC: testQC(3)}); err == nil {
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+		f.Add(append(frame, frame...))
+		flipped := append([]byte(nil), frame...)
+		flipped[len(flipped)-2] ^= 1
+		f.Add(flipped)
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenNoSync(path)
+		if err != nil {
+			return // clean rejection
+		}
+		defer w.Close()
+		w.Latest()
+		if err := w.Append(testRecord(42)); err != nil {
+			t.Fatalf("append to recovered log: %v", err)
+		}
+		if rec := w.Latest(); rec == nil || rec.CurView != 42 {
+			t.Fatalf("latest after append = %+v", rec)
+		}
+	})
+}
