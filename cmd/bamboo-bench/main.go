@@ -66,6 +66,7 @@ var experiments = []struct {
 	{"ablation-fanout", "client fan-out designs", (*bench.Runner).RunAblationClientFanout},
 	{"ablation-election", "leader-election designs", (*bench.Runner).RunAblationElection},
 	{"pipeline-hotpath", "sync vs pipelined replica hot path", (*bench.Runner).RunPipelineHotPath},
+	{"load", "open-loop rate ladder through saturation (tail latency, admission control)", (*bench.Runner).RunLoadLadder},
 }
 
 func main() {

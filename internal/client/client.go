@@ -32,11 +32,15 @@ type Client struct {
 	latency   *metrics.Latency
 	committed metrics.Counter
 	rejected  metrics.Counter
+	retries   metrics.Counter
 
 	mu      sync.Mutex
 	waiters map[types.TxID]chan bool
-	// pendingOpen tracks submit times of latency-sampled open-loop
-	// transactions, resolved by the reply loop.
+	// pendingOpen tracks the *intended* send times of latency-sampled
+	// open-loop transactions, resolved by the reply loop. Stamping the
+	// intended arrival instead of the actual send keeps the histogram
+	// free of coordinated omission: if the pacer falls behind, the
+	// scheduling lag shows up as latency rather than vanishing.
 	pendingOpen map[types.TxID]time.Time
 	seq         uint64
 	// fanout broadcasts each transaction to every replica.
@@ -77,6 +81,10 @@ func (c *Client) Committed() uint64 { return c.committed.Load() }
 // Rejected returns the number of pool-rejected transactions.
 func (c *Client) Rejected() uint64 { return c.rejected.Load() }
 
+// Retries returns the number of resubmissions made after rejections —
+// the client-side cost of admission control under PolicyReject.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
 // replyLoop demultiplexes commit confirmations.
 func (c *Client) replyLoop() {
 	defer c.wg.Done()
@@ -101,15 +109,29 @@ func (c *Client) replyLoop() {
 			if sampled {
 				delete(c.pendingOpen, reply.TxID)
 			}
+			fanout := c.fanout
 			c.mu.Unlock()
 			if found {
 				ch <- !reply.Rejected
 			}
-			if sampled {
-				if reply.Rejected {
+			if reply.Rejected {
+				// Count each rejection that resolves a tracked
+				// transaction once here (fanout duplicates resolve
+				// nothing and are not double counted).
+				if found || sampled {
 					c.rejected.Add(1)
-				} else {
+				}
+			} else {
+				if sampled {
 					c.latency.Record(time.Since(submitted))
+				}
+				// Every commit reply is one committed transaction —
+				// including unsampled open-loop ones, so per-client
+				// throughput (the fairness input) counts all commits,
+				// not just the latency sample. Under fanout the same
+				// transaction draws up to n replies, so only the one
+				// resolving a tracked entry counts.
+				if found || sampled || !fanout {
 					c.committed.Add(1)
 				}
 			}
@@ -179,12 +201,25 @@ func (c *Client) submit(tx types.Transaction) chan bool {
 	return ch
 }
 
+// Retry policy for admission rejections: a rejected transaction is
+// resubmitted with exponential backoff up to submitMaxRetries times
+// before SubmitAndWait gives up. Each resubmission is counted in
+// Retries; each rejection in Rejected.
+const (
+	submitMaxRetries   = 6
+	submitBaseBackoff  = time.Millisecond
+	submitBackoffLimit = 32 * time.Millisecond
+)
+
 // SubmitAndWait issues one transaction and blocks until it commits,
-// the timeout passes, or the client stops. It returns true on commit.
+// the timeout passes, or the client stops. A pool rejection is retried
+// with exponential backoff (the same transaction, resubmitted) up to
+// submitMaxRetries times; the recorded latency spans the whole
+// operation including backoff, so admission control's client-side cost
+// is visible in the histogram. It returns true on commit.
 func (c *Client) SubmitAndWait(timeout time.Duration) bool {
 	tx := c.nextTx()
 	start := time.Now()
-	ch := c.submit(tx)
 	var timer *time.Timer
 	var timeoutCh <-chan time.Time
 	if timeout > 0 {
@@ -192,22 +227,46 @@ func (c *Client) SubmitAndWait(timeout time.Duration) bool {
 		defer timer.Stop()
 		timeoutCh = timer.C
 	}
-	select {
-	case ok := <-ch:
-		if !ok {
-			c.rejected.Add(1)
-			return false
+	backoff := submitBaseBackoff
+	for attempt := 0; ; attempt++ {
+		ch := c.submit(tx)
+		select {
+		case ok := <-ch:
+			if ok {
+				// Committed was counted by the reply loop; only the
+				// whole-operation latency (including backoff spent on
+				// retries) is recorded here.
+				c.latency.Record(time.Since(start))
+				return true
+			}
+			// Rejected (counted by the reply loop). Back off and
+			// resubmit unless the retry budget is spent.
+			if attempt >= submitMaxRetries {
+				return false
+			}
+			wait := time.NewTimer(backoff)
+			select {
+			case <-wait.C:
+			case <-timeoutCh:
+				wait.Stop()
+				return false
+			case <-c.stopCh:
+				wait.Stop()
+				return false
+			}
+			if backoff *= 2; backoff > submitBackoffLimit {
+				backoff = submitBackoffLimit
+			}
+			c.retries.Add(1)
+			continue
+		case <-timeoutCh:
+		case <-c.stopCh:
 		}
-		c.latency.Record(time.Since(start))
-		c.committed.Add(1)
-		return true
-	case <-timeoutCh:
-	case <-c.stopCh:
+		c.mu.Lock()
+		delete(c.waiters, tx.ID)
+		c.mu.Unlock()
+		return false
 	}
-	c.mu.Lock()
-	delete(c.waiters, tx.ID)
-	c.mu.Unlock()
-	return false
 }
 
 // RunClosedLoop starts `concurrency` workers, each keeping one request
@@ -252,7 +311,11 @@ func (c *Client) RunClosedLoop(concurrency int, perOpTimeout time.Duration) {
 // the arrival model of the Section V analysis. Arrivals are generated
 // in 2 ms batches with Poisson-distributed counts (statistically
 // equivalent, and feasible at 100k+ tx/s on small hosts). A sample of
-// transactions (about 2000/s) is tracked for client-side latency.
+// transactions (about 2000/s) is tracked for client-side latency,
+// stamped at the *intended* arrival time (spread across the batch
+// window), not the actual send: a pacer running late therefore shows
+// the lag as latency instead of silently omitting it — the classic
+// coordinated-omission correction.
 func (c *Client) RunOpenLoop(rate float64) {
 	if rate <= 0 {
 		return
@@ -278,23 +341,29 @@ func (c *Client) RunOpenLoop(rate float64) {
 			// CPU contention the ticker coalesces missed ticks, and
 			// a fixed per-tick mean would silently shed offered load.
 			now := time.Now()
-			mean := rate * now.Sub(last).Seconds()
-			last = now
+			window := now.Sub(last)
+			mean := rate * window.Seconds()
 			n := c.poisson(mean)
 			for i := 0; i < n; i++ {
 				tx := c.nextTx()
 				if tx.ID.Seq%sampleEvery == 0 {
+					// Conditioned on n arrivals, Poisson arrival
+					// times are uniform order statistics over the
+					// window — the i-th lands mid-slot.
+					intended := last.Add(time.Duration(
+						(float64(i) + 0.5) / float64(n) * float64(window)))
 					c.mu.Lock()
 					if len(c.pendingOpen) > 1<<16 {
 						// Shed stale samples (replies lost to a
 						// stalled protocol) instead of leaking.
 						c.pendingOpen = make(map[types.TxID]time.Time)
 					}
-					c.pendingOpen[tx.ID] = time.Now()
+					c.pendingOpen[tx.ID] = intended
 					c.mu.Unlock()
 				}
 				c.ep.Send(c.pickReplica(), types.RequestMsg{Tx: tx})
 			}
+			last = now
 		}
 	}()
 }

@@ -99,8 +99,14 @@ func TestSubmitAndWaitRejection(t *testing.T) {
 	if c.SubmitAndWait(2 * time.Second) {
 		t.Fatal("rejected transaction reported as committed")
 	}
-	if c.Rejected() != 1 {
-		t.Fatalf("rejected = %d", c.Rejected())
+	// A replica that always rejects exhausts the retry budget: the
+	// initial attempt plus submitMaxRetries resubmissions, every one
+	// rejected and counted.
+	if got, want := c.Retries(), uint64(submitMaxRetries); got != want {
+		t.Fatalf("retries = %d, want %d", got, want)
+	}
+	if got, want := c.Rejected(), uint64(submitMaxRetries+1); got != want {
+		t.Fatalf("rejected = %d, want %d", got, want)
 	}
 }
 

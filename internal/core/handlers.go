@@ -702,7 +702,8 @@ func (n *Node) onNewView(tc *types.TC) {
 func (n *Node) onRequest(from types.NodeID, tx types.Transaction) {
 	if n.policy.LightweightPool {
 		if len(n.lightPool) >= 4*n.cfg.MemSize {
-			n.net.Send(from, types.ReplyMsg{TxID: tx.ID, Rejected: true})
+			n.lightRejections.Add(1)
+			n.rejectTx(from, tx.ID)
 			return
 		}
 		n.lightPool = append(n.lightPool, tx)
@@ -711,12 +712,26 @@ func (n *Node) onRequest(from types.NodeID, tx types.Transaction) {
 	}
 	if err := n.pool.Add(tx); err != nil {
 		if err == mempool.ErrFull {
-			n.net.Send(from, types.ReplyMsg{TxID: tx.ID, Rejected: true})
+			n.rejectTx(from, tx.ID)
 		}
 		return
 	}
 	n.owned[tx.ID] = from
 	n.queuePayloadSync([]types.Transaction{tx})
+}
+
+// rejectTx delivers an admission rejection to whoever submitted the
+// transaction: the registered reject listeners for this node's own
+// submissions (the HTTP API turns them into 429s), a rejected ReplyMsg
+// over the network for remote client endpoints.
+func (n *Node) rejectTx(from types.NodeID, id types.TxID) {
+	if from == n.id {
+		for _, fn := range n.rejectListeners {
+			fn(id)
+		}
+		return
+	}
+	n.net.Send(from, types.ReplyMsg{TxID: id, Rejected: true})
 }
 
 // payloadSyncInterval bounds how long a buffered transaction waits for

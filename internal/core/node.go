@@ -86,6 +86,13 @@ type Status struct {
 	CommittedView   types.View
 	CommittedHash   types.Hash
 	Pool            int
+	// PoolQueued is how many of the pooled transactions currently sit
+	// past the soft capacity in the overflow band (non-zero only under
+	// the "queue" admission policy).
+	PoolQueued int
+	// PoolRejections counts client transactions the admission policy
+	// turned away over the replica's lifetime — the overload signal.
+	PoolRejections uint64
 	// Syncing reports whether the replica is in deep catch-up —
 	// streaming ranged batches from a peer's ledger, or negotiating
 	// and fetching a state snapshot.
@@ -159,6 +166,14 @@ type Node struct {
 	// commitListeners run on the event loop for each committed
 	// block; registered before Start (HTTP API waiters).
 	commitListeners []func(types.View, types.Hash, []types.Transaction)
+	// rejectListeners run on the event loop for each self-submitted
+	// transaction the admission policy turns away; registered before
+	// Start (the HTTP API's 429 path). Remote submitters get a
+	// ReplyMsg with Rejected set instead.
+	rejectListeners []func(types.TxID)
+	// lightRejections counts lightweight-pool rejections (OHS client
+	// path), which bypass the mempool and its counters.
+	lightRejections metrics.Counter
 	events          chan any
 	stopOnce        sync.Once
 	stopCh          chan struct{}
@@ -221,13 +236,17 @@ func NewNode(id types.NodeID, cfg config.Config, factory safety.Factory,
 			elect = election.NewRoundRobin(cfg.N)
 		}
 	}
+	pool := mempool.New(cfg.MemSize)
+	if depth := cfg.MemQueueDepth(); depth > 0 {
+		pool.EnableOverflow(depth)
+	}
 	n := &Node{
 		id:         id,
 		cfg:        cfg,
 		rules:      rules,
 		policy:     rules.Policy(),
 		forest:     f,
-		pool:       mempool.New(cfg.MemSize),
+		pool:       pool,
 		votes:      quorum.NewVotes(cfg.Quorum()),
 		pm:         pacemaker.New(cfg.Timeout, cfg.Quorum()),
 		elect:      elect,
@@ -286,7 +305,17 @@ func (n *Node) Status() Status {
 	n.statusMu.Lock()
 	defer n.statusMu.Unlock()
 	s := n.status
-	s.Pool = n.pool.Len()
+	s.Pool, s.PoolQueued = n.pool.Occupancy()
+	s.PoolRejections = n.pool.Stats().Rejected + n.lightRejections.Load()
+	return s
+}
+
+// PoolStats returns the mempool's admission counters (admitted,
+// rejected, queued past the soft capacity) — the server-side half of
+// the harness's overload accounting.
+func (n *Node) PoolStats() mempool.Stats {
+	s := n.pool.Stats()
+	s.Rejected += n.lightRejections.Load()
 	return s
 }
 
@@ -322,6 +351,16 @@ func (n *Node) Submit(tx types.Transaction) {
 // on the event loop, so they must not block.
 func (n *Node) AddCommitListener(fn func(types.View, types.Hash, []types.Transaction)) {
 	n.commitListeners = append(n.commitListeners, fn)
+}
+
+// AddRejectListener registers fn to run for every transaction this
+// node itself submitted (Submit — the HTTP API's path) that the
+// admission policy turned away. Register before Start; listeners run
+// on the event loop, so they must not block. Transactions submitted by
+// remote client endpoints are answered with a rejected ReplyMsg over
+// the network instead.
+func (n *Node) AddRejectListener(fn func(types.TxID)) {
+	n.rejectListeners = append(n.rejectListeners, fn)
 }
 
 // Start launches the event loop plus, per configuration, the

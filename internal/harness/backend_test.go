@@ -231,3 +231,58 @@ func TestCommittedFleetScenarioStaysValid(t *testing.T) {
 		t.Fatal("scenario must keep ledgers on: the restart leg exists to prove cross-process replay")
 	}
 }
+
+// TestOpenLoopAllBackends is the open-loop counterpart of the parity
+// bar: the same declared multi-client open-loop MeasurePlan must run
+// on every backend — including the fleet, which historically rejected
+// rate-driven plans — and come back with the client fleet accounted
+// for and the percentile ladder populated.
+func TestOpenLoopAllBackends(t *testing.T) {
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			if backend == BackendFleet {
+				buildServerBinary(t)
+			}
+			cfg := config.Default()
+			cfg.Protocol = config.ProtocolHotStuff
+			cfg.ApplyProtocolDefaults()
+			cfg.CryptoScheme = "hmac"
+			cfg.BlockSize = 50
+			cfg.MemSize = 1 << 14
+			cfg.Timeout = 100 * time.Millisecond
+			res, err := Run(Experiment{
+				Name:    "openloop-parity",
+				Backend: backend,
+				Config:  cfg,
+				Measure: MeasurePlan{
+					Warmup:       300 * time.Millisecond,
+					Window:       time.Second,
+					Rate:         400,
+					Clients:      []ClientSpec{{Count: 3}, {Count: 1}},
+					PerOpTimeout: 2 * time.Second,
+				},
+			})
+			if err != nil {
+				t.Fatalf("run: %v (result error %q)", err, res.Error)
+			}
+			if !res.Consistent || res.Violations != 0 || !res.Recovered {
+				t.Fatalf("open-loop run unhealthy: consistent=%v violations=%d recovered=%v",
+					res.Consistent, res.Violations, res.Recovered)
+			}
+			p := res.Points[0]
+			if p.Throughput <= 0 {
+				t.Fatalf("no committed throughput: %+v", p)
+			}
+			if p.Clients != 4 {
+				t.Fatalf("clients = %d, want 4", p.Clients)
+			}
+			if p.Offered != 400 {
+				t.Fatalf("offered = %v, want the declared 400 tx/s", p.Offered)
+			}
+			if p.P50 <= 0 || p.P50 > p.P99 || p.P99 > p.P999 {
+				t.Fatalf("percentile ladder broken: p50=%v p99=%v p999=%v", p.P50, p.P99, p.P999)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -23,16 +24,17 @@ import (
 // re-exec / admin-endpoint pushes, and the Result is merged from every
 // server's node-local slice.
 //
-// The fleet is closed-loop only, and the load-shaping extras that
-// require in-process hooks (open-loop rates, fanout transaction
-// mirroring, commit-series buckets, hashed election) are rejected
-// loudly rather than silently degraded.
+// Both load shapes run over HTTP: closed loop keeps one in-flight
+// POST /tx per worker, open loop paces Poisson arrivals per client and
+// carries them through a bounded submitter pool (arrivals past the
+// pool's capacity are shed and counted — see Point.Shed). The
+// load-shaping extras that require in-process hooks (fanout
+// transaction mirroring, commit-series buckets, hashed election) are
+// rejected loudly rather than silently degraded.
 func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (Point, error) {
 	var p Point
 	cfg := exp.Config
 	switch {
-	case rate > 0:
-		return p, fmt.Errorf("harness: fleet backend is closed-loop only (open-loop minting lives in the in-process client)")
 	case exp.Measure.Fanout:
 		return p, fmt.Errorf("harness: fleet backend cannot fan out transactions (each server mints its own IDs)")
 	case exp.Measure.Bucket > 0:
@@ -40,9 +42,26 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 	case exp.Election == ElectionHashed:
 		return p, fmt.Errorf("harness: fleet backend runs the server's configured election only")
 	}
-	gen, err := exp.Workload.New(cfg.PayloadSize, cfg.Seed)
-	if err != nil {
-		return p, err
+	specs := fleetSpecs(exp)
+	var fclients []*fleetClient
+	idx := 0
+	for _, cs := range specs {
+		count := cs.Count
+		if count <= 0 {
+			count = 1
+		}
+		wl := exp.Workload
+		if cs.Workload != nil {
+			wl = *cs.Workload
+		}
+		for i := 0; i < count; i++ {
+			gen, err := wl.New(cfg.PayloadSize, cfg.Seed+int64(idx))
+			if err != nil {
+				return p, err
+			}
+			fclients = append(fclients, &fleetClient{gen: gen, lat: &metrics.Latency{}})
+			idx++
+		}
 	}
 
 	f, err := fleet.New(cfg, fleet.Options{
@@ -81,13 +100,34 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 	if perOp <= 0 {
 		perOp = 5 * time.Second
 	}
-	load := startFleetLoad(f, gen, cfg.N, concurrency, perOp, cfg.Seed)
-	p.Offered = float64(concurrency)
+	workersPer := 1
+	if rate > 0 {
+		p.Offered = rate
+	} else {
+		if len(exp.Measure.Clients) > 0 {
+			// A declared fleet fixes closed-loop concurrency: one
+			// in-flight request per client.
+			concurrency = len(fclients)
+		} else {
+			workersPer = concurrency
+		}
+		p.Offered = float64(concurrency)
+	}
+	load := startFleetLoad(f, fclients, cfg.N, workersPer, rate, perOp, cfg.Seed)
 
 	if exp.Measure.Warmup > 0 {
 		time.Sleep(exp.Measure.Warmup)
 	}
-	load.lat.Reset()
+	startCommitted := make([]uint64, len(fclients))
+	var startRejected, startRetries uint64
+	for i, fc := range fclients {
+		fc.lat.Reset()
+		startCommitted[i] = fc.committed.Load()
+		startRejected += fc.rejected.Load()
+		startRetries += fc.retries.Load()
+	}
+	startShed := load.shed.Load()
+	startPoolRej := fleetPoolRejections(f, cfg.N)
 	observer := types.NodeID(cfg.N)
 	startRes, err := f.ReplicaResult(observer)
 	if err != nil {
@@ -104,6 +144,23 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 	if err != nil {
 		return p, err
 	}
+	merged := &metrics.Latency{}
+	var endRejected, endRetries uint64
+	minTps, maxTps := math.Inf(1), 0.0
+	for i, fc := range fclients {
+		merged.Merge(fc.lat)
+		endRejected += fc.rejected.Load()
+		endRetries += fc.retries.Load()
+		tps := float64(fc.committed.Load()-startCommitted[i]) / elapsed.Seconds()
+		if tps < minTps {
+			minTps = tps
+		}
+		if tps > maxTps {
+			maxTps = tps
+		}
+	}
+	p.Shed = load.shed.Load() - startShed
+	p.PoolRejections = fleetPoolRejections(f, cfg.N) - startPoolRej
 
 	close(stop)
 	<-faultsDone
@@ -111,8 +168,15 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 
 	p.Throughput = float64(endRes.Chain.TxCommitted-startRes.Chain.TxCommitted) / elapsed.Seconds()
 	p.Blocks = endRes.Chain.BlocksCommitted - startRes.Chain.BlocksCommitted
-	lat := load.lat.Snapshot()
-	p.Mean, p.P50, p.P99 = lat.Mean, lat.P50, lat.P99
+	lat := merged.Snapshot()
+	p.Mean, p.P50, p.P95, p.P99, p.P999 = lat.Mean, lat.P50, lat.P95, lat.P99, lat.P999
+	p.Clients = len(fclients)
+	p.ClientMinTps, p.ClientMaxTps = minTps, maxTps
+	if minTps > 0 {
+		p.ClientDispersion = maxTps / minTps
+	}
+	p.Rejected = endRejected - startRejected
+	p.Retries = endRetries - startRetries
 	// Observer-endpoint traffic over the window (deployment-wide sums
 	// land in Result.Network below).
 	p.NetMsgs = endRes.Transport.Msgs - startRes.Transport.Msgs
@@ -284,64 +348,233 @@ func fleetConsistencyCheck(f *fleet.Fleet, cfg config.Config, heights []uint64, 
 	return nil
 }
 
-// fleetLoad is the closed-loop load generator of the fleet backend:
-// the in-process client's loop rebuilt over HTTP. Each worker submits
-// to a seeded-random replica and waits for the commit response;
-// latencies are recorded client-side, exactly like the in-process
-// closed loop. Submissions to a crashed replica fail fast and count
-// for nothing — the same transactions a real client would lose.
-type fleetLoad struct {
-	lat    *metrics.Latency
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+// Submitter sizing for the open-loop fleet: arrivals are paced by
+// per-client generators and carried by a fixed pool of HTTP
+// submitters, each holding one in-flight POST /tx (which blocks until
+// the commit response). When arrival rate times commit latency exceeds
+// the pool, the backlog fills and further arrivals are shed — counted
+// in Point.Shed, never silent.
+const (
+	fleetSubmitters  = 128
+	fleetBacklogSize = 1024
+)
+
+// fleetClient is one benchmark client of the fleet backend: its own
+// workload generator plus the client-side counters the harness windows
+// into a Point (latency histogram, commits for fairness, rejections
+// and retries for admission control).
+type fleetClient struct {
+	gen       interface{ Next() []byte }
+	lat       *metrics.Latency
+	committed metrics.Counter
+	rejected  metrics.Counter
+	retries   metrics.Counter
 }
 
-func startFleetLoad(f *fleet.Fleet, gen interface{ Next() []byte },
-	n, concurrency int, perOp time.Duration, seed int64) *fleetLoad {
+// fleetJob is one paced open-loop arrival awaiting an HTTP submitter.
+// The intended timestamp — assigned by the pacer, before any queueing —
+// is what latency is measured from, so submitter backlog shows up as
+// latency instead of being coordinated-omitted away.
+type fleetJob struct {
+	cl       *fleetClient
+	intended time.Time
+	command  []byte
+	target   types.NodeID
+}
+
+// fleetLoad is the load generator of the fleet backend: the in-process
+// client's loops rebuilt over HTTP. Closed loop runs workers that keep
+// one request in flight each; open loop runs one Poisson pacer per
+// client feeding the bounded submitter pool. Submissions to a crashed
+// replica fail fast and count for nothing — the same transactions a
+// real client would lose.
+type fleetLoad struct {
+	clients []*fleetClient
+	shed    metrics.Counter
+	jobs    chan fleetJob
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// startFleetLoad starts the load against the fleet. rate > 0 selects
+// the open loop, split evenly across clients; otherwise each client
+// runs workersPer closed-loop workers.
+func startFleetLoad(f *fleet.Fleet, clients []*fleetClient,
+	n, workersPer int, rate float64, perOp time.Duration, seed int64) *fleetLoad {
 
 	l := &fleetLoad{
-		lat:    &metrics.Latency{},
-		stopCh: make(chan struct{}),
+		clients: clients,
+		stopCh:  make(chan struct{}),
 	}
-	client := &http.Client{Timeout: perOp}
-	for w := 0; w < concurrency; w++ {
-		l.wg.Add(1)
-		rng := rand.New(rand.NewSource(seed + int64(w)))
-		go func() {
-			defer l.wg.Done()
-			for {
-				select {
-				case <-l.stopCh:
-					return
-				default:
-				}
-				target := types.NodeID(rng.Intn(n) + 1)
-				body, err := json.Marshal(map[string][]byte{"command": gen.Next()})
-				if err != nil {
-					continue
-				}
-				start := time.Now()
-				resp, err := client.Post(f.URL(target)+"/tx", "application/json",
-					bytes.NewReader(body))
-				if err != nil {
-					// Connection refused (crashed replica) or per-op
-					// timeout; back off a beat so a dead target does
-					// not turn the worker into a busy loop.
-					time.Sleep(5 * time.Millisecond)
-					continue
-				}
-				var out struct {
-					Committed bool `json:"committed"`
-				}
-				_ = json.NewDecoder(resp.Body).Decode(&out)
-				_ = resp.Body.Close()
-				if out.Committed {
-					l.lat.Record(time.Since(start))
-				}
-			}
-		}()
+	httpc := &http.Client{Timeout: perOp}
+	if rate > 0 {
+		l.jobs = make(chan fleetJob, fleetBacklogSize)
+		per := rate / float64(len(clients))
+		for i, fc := range clients {
+			l.wg.Add(1)
+			go l.pace(fc, rand.New(rand.NewSource(seed+int64(i))), n, per)
+		}
+		for s := 0; s < fleetSubmitters; s++ {
+			l.wg.Add(1)
+			go l.submitLoop(f, httpc)
+		}
+		return l
+	}
+	for i, fc := range clients {
+		for w := 0; w < workersPer; w++ {
+			l.wg.Add(1)
+			go l.closedWorker(f, httpc, fc,
+				rand.New(rand.NewSource(seed+int64(i*workersPer+w))), n)
+		}
 	}
 	return l
+}
+
+// closedWorker keeps one POST /tx in flight, backing off briefly after
+// failures and admission rejections (each resubmission after a 429 is
+// a counted retry).
+func (l *fleetLoad) closedWorker(f *fleet.Fleet, httpc *http.Client,
+	fc *fleetClient, rng *rand.Rand, n int) {
+
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		default:
+		}
+		target := types.NodeID(rng.Intn(n) + 1)
+		start := time.Now()
+		committed, rejected := postTx(f, httpc, target, fc.gen.Next())
+		switch {
+		case committed:
+			fc.lat.Record(time.Since(start))
+			fc.committed.Add(1)
+		case rejected:
+			fc.rejected.Add(1)
+			fc.retries.Add(1)
+			// Back off a beat so a saturated pool is not hammered.
+			time.Sleep(2 * time.Millisecond)
+		default:
+			// Connection refused (crashed replica) or per-op timeout;
+			// back off so a dead target is not a busy loop.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// pace generates this client's share of the Poisson arrival process in
+// 2 ms batches, stamping each arrival with its intended time and
+// handing it to the submitter pool (or shedding it, counted, when the
+// backlog is full).
+func (l *fleetLoad) pace(fc *fleetClient, rng *rand.Rand, n int, rate float64) {
+	defer l.wg.Done()
+	const tick = 2 * time.Millisecond
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		window := now.Sub(last)
+		arrivals := poissonRand(rng, rate*window.Seconds())
+		for i := 0; i < arrivals; i++ {
+			job := fleetJob{
+				cl: fc,
+				intended: last.Add(time.Duration(
+					(float64(i) + 0.5) / float64(arrivals) * float64(window))),
+				command: fc.gen.Next(),
+				target:  types.NodeID(rng.Intn(n) + 1),
+			}
+			select {
+			case l.jobs <- job:
+			default:
+				l.shed.Add(1)
+			}
+		}
+		last = now
+	}
+}
+
+// submitLoop drains paced arrivals, one in-flight POST /tx at a time.
+func (l *fleetLoad) submitLoop(f *fleet.Fleet, httpc *http.Client) {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case job := <-l.jobs:
+			committed, rejected := postTx(f, httpc, job.target, job.command)
+			switch {
+			case committed:
+				job.cl.lat.Record(time.Since(job.intended))
+				job.cl.committed.Add(1)
+			case rejected:
+				job.cl.rejected.Add(1)
+			}
+		}
+	}
+}
+
+// postTx submits one transaction over HTTP and reports how it ended:
+// committed, rejected by admission control (HTTP 429), or neither
+// (connection failure or timeout).
+func postTx(f *fleet.Fleet, httpc *http.Client, target types.NodeID, command []byte) (committed, rejected bool) {
+	body, err := json.Marshal(map[string][]byte{"command": command})
+	if err != nil {
+		return false, false
+	}
+	resp, err := httpc.Post(f.URL(target)+"/tx", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		return false, false
+	}
+	var out struct {
+		Committed bool `json:"committed"`
+		Rejected  bool `json:"rejected"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	_ = resp.Body.Close()
+	return out.Committed, out.Rejected || resp.StatusCode == http.StatusTooManyRequests
+}
+
+// poissonRand samples a Poisson-distributed count with the given mean:
+// Knuth's method for small means, a normal approximation for large.
+func poissonRand(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k, p := 0, 1.0
+		for p > l {
+			k++
+			p *= rng.Float64()
+		}
+		return k - 1
+	}
+	n := int(rng.NormFloat64()*math.Sqrt(mean) + mean + 0.5)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// fleetPoolRejections sums the reachable replicas' lifetime mempool
+// rejection counters over the admin endpoint; callers difference two
+// readings to window a delta.
+func fleetPoolRejections(f *fleet.Fleet, n int) uint64 {
+	var total uint64
+	for i := 1; i <= n; i++ {
+		if rr, err := f.ReplicaResult(types.NodeID(i)); err == nil {
+			total += rr.PoolRejected
+		}
+	}
+	return total
 }
 
 func (l *fleetLoad) stop() {

@@ -8,9 +8,11 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
+	"github.com/bamboo-bft/bamboo/internal/client"
 	"github.com/bamboo-bft/bamboo/internal/cluster"
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/election"
@@ -84,6 +86,20 @@ type Experiment struct {
 	DisableLedger bool `json:"disableLedger,omitempty"`
 }
 
+// ClientSpec declares one population of identically configured
+// benchmark clients inside a MeasurePlan — the unit of a mixed
+// workload fleet (e.g. 90 key-value readers alongside 10 bank-transfer
+// writers).
+type ClientSpec struct {
+	// Count is the number of clients in this population (0 means 1).
+	Count int `json:"count"`
+	// Workload overrides the experiment-level workload for this
+	// population; nil inherits it. Every client gets its own generator
+	// instance, deterministically seeded from Config.Seed plus the
+	// client's fleet index, so mixed populations replay exactly.
+	Workload *workload.Spec `json:"workload,omitempty"`
+}
+
 // MeasurePlan declares how a scenario is loaded and measured. Exactly
 // one load shape applies, checked in this order: Levels (closed-loop
 // concurrency ladder, a fresh cluster per level), Rates (open-loop
@@ -95,14 +111,24 @@ type MeasurePlan struct {
 	// Window is the measured interval; 0 uses Config.Runtime.
 	Window time.Duration `json:"window"`
 	// Concurrency is the closed-loop worker count of a single run;
-	// 0 uses Config.Concurrency.
+	// 0 uses Config.Concurrency. Mutually exclusive with Clients.
 	Concurrency int `json:"concurrency,omitempty"`
-	// Levels is the closed-loop concurrency ladder.
+	// Levels is the closed-loop concurrency ladder. Mutually exclusive
+	// with Clients.
 	Levels []int `json:"levels,omitempty"`
-	// Rate is the open-loop arrival rate (transactions/second).
+	// Rate is the open-loop arrival rate (transactions/second). With
+	// Clients, the rate is split evenly across the whole fleet.
 	Rate float64 `json:"rate,omitempty"`
 	// Rates is the open-loop rate ladder.
 	Rates []float64 `json:"rates,omitempty"`
+	// Clients declares the benchmark fleet as workload populations.
+	// Empty means one client running the experiment workload. Under
+	// closed loop each declared client keeps exactly one request in
+	// flight (so total concurrency = total count, and Concurrency or
+	// Levels must not also be set); under open loop the arrival rate is
+	// split evenly across all clients. Per-client committed throughput
+	// feeds the Point fairness fields.
+	Clients []ClientSpec `json:"clients,omitempty"`
 	// PerOpTimeout bounds each closed-loop wait (default 5s).
 	PerOpTimeout time.Duration `json:"perOpTimeout,omitempty"`
 	// SaturationStop ends a Levels ladder early once throughput
@@ -129,10 +155,36 @@ type Point struct {
 	// Throughput is committed transactions/second observed at the
 	// observer replica over the window.
 	Throughput float64 `json:"throughput"`
-	// Mean, P50, P99 are client-side latencies (nanoseconds in JSON).
+	// Mean and the percentiles are client-side latencies (nanoseconds
+	// in JSON), merged across every client's log-bucketed histogram.
+	// Open-loop runs stamp latency from the *intended* send time, so
+	// the tail percentiles are free of coordinated omission.
 	Mean time.Duration `json:"mean"`
 	P50  time.Duration `json:"p50"`
+	P95  time.Duration `json:"p95"`
 	P99  time.Duration `json:"p99"`
+	P999 time.Duration `json:"p999"`
+	// Clients is the number of benchmark clients driving this point.
+	Clients int `json:"clients,omitempty"`
+	// ClientMinTps/ClientMaxTps bracket per-client committed throughput
+	// over the window, and ClientDispersion is their ratio (max/min; 0
+	// when some client committed nothing) — the fairness check that no
+	// client population starves another.
+	ClientMinTps     float64 `json:"clientMinTps,omitempty"`
+	ClientMaxTps     float64 `json:"clientMaxTps,omitempty"`
+	ClientDispersion float64 `json:"clientDispersion,omitempty"`
+	// Rejected and Retries count client-visible admission rejections
+	// and the resubmissions they provoked over the window.
+	Rejected uint64 `json:"rejected,omitempty"`
+	Retries  uint64 `json:"retries,omitempty"`
+	// PoolRejections sums the replicas' server-side mempool rejections
+	// over the window — nonzero means admission control engaged.
+	PoolRejections uint64 `json:"poolRejections,omitempty"`
+	// Shed counts open-loop arrivals the fleet backend dropped because
+	// its bounded HTTP submitter pool was saturated — offered load that
+	// never reached a replica. Always zero on in-process backends,
+	// whose open loop submits without blocking.
+	Shed uint64 `json:"shed,omitempty"`
 	// CGR and BI are the chain micro-metrics over the window.
 	CGR float64 `json:"cgr"`
 	BI  float64 `json:"bi"`
@@ -294,7 +346,42 @@ func (e *Experiment) Validate() error {
 	if e.Measure.Rate < 0 || e.Measure.Concurrency < 0 {
 		return fmt.Errorf("harness: negative load level")
 	}
+	for i, cs := range e.Measure.Clients {
+		if cs.Count < 0 {
+			return fmt.Errorf("harness: measure.clients[%d].count must be non-negative, have %d", i, cs.Count)
+		}
+		if cs.Workload != nil {
+			if err := cs.Workload.Validate(); err != nil {
+				return fmt.Errorf("harness: measure.clients[%d]: %w", i, err)
+			}
+		}
+	}
+	if len(e.Measure.Clients) > 0 && (len(e.Measure.Levels) > 0 || e.Measure.Concurrency > 0) {
+		return fmt.Errorf("harness: measure.clients fixes closed-loop concurrency at one in-flight request per client; drop measure.concurrency/measure.levels")
+	}
 	return nil
+}
+
+// fleetSpecs normalizes the plan's client populations: a missing
+// Clients section means one client running the experiment workload.
+func fleetSpecs(exp Experiment) []ClientSpec {
+	if len(exp.Measure.Clients) > 0 {
+		return exp.Measure.Clients
+	}
+	return []ClientSpec{{Count: 1}}
+}
+
+// fleetSize counts the clients the normalized populations declare.
+func fleetSize(specs []ClientSpec) int {
+	total := 0
+	for _, cs := range specs {
+		if cs.Count <= 0 {
+			total++
+			continue
+		}
+		total += cs.Count
+	}
+	return total
 }
 
 // Run executes the experiment and returns its structured result. On
@@ -383,16 +470,12 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	cfg := exp.Config
 	opts := cluster.Options{
 		Backend:       exp.Backend,
-		WithStores:    exp.Measure.WithStores || exp.Workload.Stores(),
+		WithStores:    needStores(exp),
 		LedgerDir:     exp.LedgerDir,
 		DisableLedger: exp.DisableLedger,
 	}
 	if exp.Election == ElectionHashed {
 		opts.Elector = election.NewHashed(cfg.N, cfg.Seed)
-	}
-	gen, err := exp.Workload.New(cfg.PayloadSize, cfg.Seed)
-	if err != nil {
-		return p, err
 	}
 
 	// One epoch anchors both the committed-rate buckets and the fault
@@ -419,12 +502,36 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 		go exp.Faults.run(c, epoch, stop, nil)
 	}
 
-	cl, err := c.NewClient()
-	if err != nil {
-		return p, err
+	// Assemble the benchmark fleet: one client per declared population
+	// slot, each with its own deterministically seeded generator so a
+	// mixed fleet (readers alongside writers) replays exactly.
+	specs := fleetSpecs(exp)
+	var clients []*client.Client
+	idx := 0
+	for _, cs := range specs {
+		count := cs.Count
+		if count <= 0 {
+			count = 1
+		}
+		wl := exp.Workload
+		if cs.Workload != nil {
+			wl = *cs.Workload
+		}
+		for i := 0; i < count; i++ {
+			gen, err := wl.New(cfg.PayloadSize, cfg.Seed+int64(idx))
+			if err != nil {
+				return p, err
+			}
+			cl, err := c.NewClient()
+			if err != nil {
+				return p, err
+			}
+			cl.SetWorkload(gen)
+			cl.SetFanout(exp.Measure.Fanout)
+			clients = append(clients, cl)
+			idx++
+		}
 	}
-	cl.SetWorkload(gen)
-	cl.SetFanout(exp.Measure.Fanout)
 	window := exp.Measure.Window
 	if window <= 0 {
 		window = cfg.Runtime
@@ -435,16 +542,36 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	}
 	if rate > 0 {
 		p.Offered = rate
-		cl.RunOpenLoop(rate)
+		per := rate / float64(len(clients))
+		for _, cl := range clients {
+			cl.RunOpenLoop(per)
+		}
 	} else {
+		if len(exp.Measure.Clients) > 0 {
+			// A declared fleet fixes closed-loop concurrency: one
+			// in-flight request per client.
+			concurrency = len(clients)
+			for _, cl := range clients {
+				cl.RunClosedLoop(1, perOp)
+			}
+		} else {
+			clients[0].RunClosedLoop(concurrency, perOp)
+		}
 		p.Offered = float64(concurrency)
-		cl.RunClosedLoop(concurrency, perOp)
 	}
 
 	if exp.Measure.Warmup > 0 {
 		time.Sleep(exp.Measure.Warmup)
 	}
-	cl.Latency().Reset()
+	startCommitted := make([]uint64, len(clients))
+	var startRejected, startRetries uint64
+	for i, cl := range clients {
+		cl.Latency().Reset()
+		startCommitted[i] = cl.Committed()
+		startRejected += cl.Rejected()
+		startRetries += cl.Retries()
+	}
+	startPoolRej := poolRejections(c, cfg)
 	observer := c.Node(c.Observer())
 	startChain := observer.Tracker().Snapshot()
 	startMsgs, startBytes, _ := c.NetworkStats()
@@ -453,11 +580,34 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	elapsed := time.Since(begin)
 	endChain := observer.Tracker().Snapshot()
 	endMsgs, endBytes, _ := c.NetworkStats()
-	lat := cl.Latency().Snapshot()
+	merged := &metrics.Latency{}
+	var endRejected, endRetries uint64
+	minTps, maxTps := math.Inf(1), 0.0
+	for i, cl := range clients {
+		merged.Merge(cl.Latency())
+		endRejected += cl.Rejected()
+		endRetries += cl.Retries()
+		tps := float64(cl.Committed()-startCommitted[i]) / elapsed.Seconds()
+		if tps < minTps {
+			minTps = tps
+		}
+		if tps > maxTps {
+			maxTps = tps
+		}
+	}
+	lat := merged.Snapshot()
 	chain := c.AggregateChain()
 
 	p.Throughput = float64(endChain.TxCommitted-startChain.TxCommitted) / elapsed.Seconds()
-	p.Mean, p.P50, p.P99 = lat.Mean, lat.P50, lat.P99
+	p.Mean, p.P50, p.P95, p.P99, p.P999 = lat.Mean, lat.P50, lat.P95, lat.P99, lat.P999
+	p.Clients = len(clients)
+	p.ClientMinTps, p.ClientMaxTps = minTps, maxTps
+	if minTps > 0 {
+		p.ClientDispersion = maxTps / minTps
+	}
+	p.Rejected = endRejected - startRejected
+	p.Retries = endRetries - startRetries
+	p.PoolRejections = poolRejections(c, cfg) - startPoolRej
 	p.CGR, p.BI = chain.CGR, chain.BI
 	p.Blocks = endChain.BlocksCommitted - startChain.BlocksCommitted
 	p.NetMsgs, p.NetBytes = endMsgs-startMsgs, endBytes-startBytes
@@ -489,6 +639,31 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 		return p, fmt.Errorf("harness: %d safety violations", res.Violations)
 	}
 	return p, nil
+}
+
+// needStores reports whether any declared workload — the experiment's
+// or a client population's override — executes against a kvstore, so
+// replicas get execution layers whenever some client needs them.
+func needStores(exp Experiment) bool {
+	if exp.Measure.WithStores || exp.Workload.Stores() {
+		return true
+	}
+	for _, cs := range exp.Measure.Clients {
+		if cs.Workload != nil && cs.Workload.Stores() {
+			return true
+		}
+	}
+	return false
+}
+
+// poolRejections sums the replicas' lifetime mempool rejection
+// counters; callers difference two readings to window a delta.
+func poolRejections(c *cluster.Cluster, cfg config.Config) uint64 {
+	var total uint64
+	for i := 1; i <= cfg.N; i++ {
+		total += c.Node(types.NodeID(i)).PoolStats().Rejected
+	}
+	return total
 }
 
 // recoveryVerdict snapshots every replica's committed height at the

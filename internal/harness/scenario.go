@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func LoadExperiment(path string) (Experiment, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&exp); err != nil {
-		return exp, fmt.Errorf("harness: scenario %s: %w", path, err)
+		return exp, decodeError(path, data, err)
 	}
 	if dec.More() {
 		return exp, fmt.Errorf("harness: scenario %s: trailing data after the experiment object", path)
@@ -47,4 +48,48 @@ func LoadExperiment(path string) (Experiment, error) {
 		return exp, fmt.Errorf("harness: scenario %s: %w", path, err)
 	}
 	return exp, nil
+}
+
+// decodeError rewrites JSON decode failures so the message names the
+// offending field, or the line and column of the syntax error — a
+// typo'd scenario should point at itself, not at decoder internals.
+func decodeError(path string, data []byte, err error) error {
+	var typeErr *json.UnmarshalTypeError
+	if errors.As(err, &typeErr) {
+		field := typeErr.Field
+		if field == "" {
+			field = "(top level)"
+		}
+		line, col := lineCol(data, typeErr.Offset)
+		return fmt.Errorf("harness: scenario %s:%d:%d: field %q wants a %s, not JSON %s",
+			path, line, col, field, typeErr.Type, typeErr.Value)
+	}
+	var synErr *json.SyntaxError
+	if errors.As(err, &synErr) {
+		line, col := lineCol(data, synErr.Offset)
+		return fmt.Errorf("harness: scenario %s:%d:%d: %w", path, line, col, err)
+	}
+	if msg := err.Error(); strings.HasPrefix(msg, "json: unknown field ") {
+		field := strings.TrimPrefix(msg, "json: unknown field ")
+		return fmt.Errorf("harness: scenario %s: unknown field %s (every accepted field is documented in docs/scenarios.md)",
+			path, field)
+	}
+	return fmt.Errorf("harness: scenario %s: %w", path, err)
+}
+
+// lineCol converts a byte offset into 1-based line and column numbers.
+func lineCol(data []byte, offset int64) (line, col int) {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+			continue
+		}
+		col++
+	}
+	return line, col
 }

@@ -98,6 +98,11 @@ type ReplicaResult struct {
 	Chain          metrics.ChainStats     `json:"chain"`
 	Pipeline       metrics.PipelineStats  `json:"pipeline"`
 	Transport      network.TransportStats `json:"transport"`
+	// Mempool admission counters, so the fleet harness can compute
+	// server-side rejection deltas per measurement window.
+	PoolAdmitted uint64 `json:"poolAdmitted"`
+	PoolRejected uint64 `json:"poolRejected"`
+	PoolQueued   uint64 `json:"poolQueued"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, _ *http.Request) {
@@ -112,6 +117,8 @@ func (s *Server) handleResult(w http.ResponseWriter, _ *http.Request) {
 		Chain:           s.node.Tracker().Snapshot(),
 		Pipeline:        s.node.Pipeline().Snapshot(),
 	}
+	ps := s.node.PoolStats()
+	res.PoolAdmitted, res.PoolRejected, res.PoolQueued = ps.Admitted, ps.Rejected, ps.Queued
 	if tr, ok := s.node.Transport().(interface{ Stats() network.TransportStats }); ok {
 		res.Transport = tr.Stats()
 	}

@@ -51,8 +51,9 @@ type Server struct {
 }
 
 type commitInfo struct {
-	view    types.View
-	blockID types.Hash
+	view     types.View
+	blockID  types.Hash
+	rejected bool
 }
 
 // New creates a server for the node. clientID namespaces the
@@ -66,6 +67,7 @@ func New(node *core.Node, clientID uint64, timeout time.Duration) *Server {
 		waiters: make(map[types.TxID]chan commitInfo),
 	}
 	node.AddCommitListener(s.onCommit)
+	node.AddRejectListener(s.onReject)
 	return s
 }
 
@@ -78,6 +80,20 @@ func (s *Server) onCommit(view types.View, blockID types.Hash, txs []types.Trans
 			delete(s.waiters, txs[i].ID)
 			ch <- commitInfo{view: view, blockID: blockID}
 		}
+	}
+}
+
+// onReject resolves a waiting POST /tx request whose transaction the
+// admission policy turned away — the 429 path.
+func (s *Server) onReject(id types.TxID) {
+	s.mu.Lock()
+	ch, ok := s.waiters[id]
+	if ok {
+		delete(s.waiters, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- commitInfo{rejected: true}
 	}
 }
 
@@ -103,9 +119,12 @@ type txRequest struct {
 	Command []byte `json:"command"`
 }
 
-// txResponse is the POST /tx reply.
+// txResponse is the POST /tx reply. A transaction the admission policy
+// turned away answers 429 with Rejected set — the client's cue to back
+// off and retry, distinct from the 504 of a commit that timed out.
 type txResponse struct {
 	Committed bool       `json:"committed"`
+	Rejected  bool       `json:"rejected,omitempty"`
 	View      types.View `json:"view,omitempty"`
 	Block     string     `json:"block,omitempty"`
 	LatencyMS float64    `json:"latencyMs"`
@@ -136,6 +155,14 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 	var resp txResponse
 	select {
 	case info := <-ch:
+		if info.rejected {
+			resp = txResponse{
+				Rejected:  true,
+				LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			break
+		}
 		resp = txResponse{
 			Committed: true,
 			View:      info.view,

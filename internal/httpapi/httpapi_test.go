@@ -12,6 +12,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/cluster"
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/kvstore"
+	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
 // startAPICluster runs a 4-node in-process cluster and exposes the
@@ -254,5 +255,74 @@ func TestBadTxBody(t *testing.T) {
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestTxRejectedOverloaded: with the rest of the cluster crashed the
+// observer's tiny mempool cannot drain, so concurrent submissions past
+// its capacity must come back as HTTP 429 with the rejection flagged
+// in the body — the typed overload signal remote clients key off.
+func TestTxRejectedOverloaded(t *testing.T) {
+	cfg := config.Default()
+	cfg.Protocol = config.ProtocolHotStuff
+	cfg.ApplyProtocolDefaults()
+	cfg.CryptoScheme = "hmac"
+	cfg.BlockSize = 4
+	cfg.MemSize = 8
+	cfg.Timeout = 150 * time.Millisecond
+	c, err := cluster.New(cfg, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := c.Node(c.Observer())
+	api := New(node, 9001, 500*time.Millisecond)
+	srv := httptest.NewServer(api.Handler())
+	c.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		c.Stop()
+	})
+	for id := 1; id <= 3; id++ {
+		c.Crash(types.NodeID(id))
+	}
+
+	const posts = 48
+	type outcome struct {
+		status int
+		body   txResponse
+	}
+	results := make(chan outcome, posts)
+	for i := 0; i < posts; i++ {
+		go func(i int) {
+			body, _ := json.Marshal(txRequest{Command: []byte(fmt.Sprintf("tx-%d", i))})
+			resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- outcome{status: -1}
+				return
+			}
+			var out txResponse
+			_ = json.NewDecoder(resp.Body).Decode(&out)
+			_ = resp.Body.Close()
+			results <- outcome{status: resp.StatusCode, body: out}
+		}(i)
+	}
+	var rejected int
+	for i := 0; i < posts; i++ {
+		res := <-results
+		if res.status == http.StatusTooManyRequests {
+			if !res.body.Rejected {
+				t.Fatalf("429 without rejected flag: %+v", res.body)
+			}
+			if res.body.Committed {
+				t.Fatalf("rejected transaction claims commit: %+v", res.body)
+			}
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("no 429s from %d posts into an %d-slot pool with consensus halted", posts, cfg.MemSize)
+	}
+	if st := node.PoolStats(); st.Rejected == 0 {
+		t.Fatal("pool counters never recorded a rejection")
 	}
 }

@@ -23,12 +23,17 @@ const (
 )
 
 // LatencySummary is a point-in-time digest of a latency distribution.
+// Quantiles come from the log-bucketed histogram: each is the upper
+// bound of the bucket holding the target rank (clamped to the observed
+// maximum), so a reported quantile is within one bucket-growth factor
+// of the exact order statistic.
 type LatencySummary struct {
 	Count uint64
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
 	P99   time.Duration
+	P999  time.Duration
 	Max   time.Duration
 }
 
@@ -90,16 +95,43 @@ func (l *Latency) Snapshot() LatencySummary {
 		for i, c := range l.buckets {
 			cum += c
 			if cum >= target {
-				return bucketUpper(i)
+				// A bucket's upper bound can overshoot the largest
+				// sample it holds; the observed maximum is a tighter
+				// truth for the top buckets.
+				if u := bucketUpper(i); u < l.max || l.max == 0 {
+					return u
+				}
+				return l.max
 			}
 		}
 		return l.max
 	}
-	s.P50, s.P95, s.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
-	if s.P50 > s.Max && s.Max > 0 {
-		s.P50 = s.Max
-	}
+	s.P50, s.P95, s.P99, s.P999 = quantile(0.50), quantile(0.95), quantile(0.99), quantile(0.999)
 	return s
+}
+
+// Merge folds other's observations into l — the per-client histograms
+// of a multi-client load plan merge into one distribution this way, a
+// sum of bucket counts with no loss beyond the shared bucket geometry
+// (quantiles of the merge are as accurate as of any single histogram).
+func (l *Latency) Merge(other *Latency) {
+	if other == nil {
+		return
+	}
+	other.mu.Lock()
+	buckets := other.buckets
+	count, sum, max := other.count, other.sum, other.max
+	other.mu.Unlock()
+	l.mu.Lock()
+	for i, c := range buckets {
+		l.buckets[i] += c
+	}
+	l.count += count
+	l.sum += sum
+	if max > l.max {
+		l.max = max
+	}
+	l.mu.Unlock()
 }
 
 // Reset clears the histogram.

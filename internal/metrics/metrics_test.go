@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -193,5 +195,60 @@ func TestTimeSeries(t *testing.T) {
 	}
 	if ts.Interval() != time.Second {
 		t.Fatal("interval accessor wrong")
+	}
+}
+
+// TestLatencyMergeMatchesExactQuantiles drives two histograms with a
+// log-uniform sample spread (the shape commit latencies take under
+// load), merges them, and checks every reported quantile against the
+// exact sorted-sample quantile. The geometric buckets grow by ×1.25,
+// so a reported value may sit up to one growth factor above the exact
+// one — and never below it, since quantiles report bucket upper bounds
+// (clamped to the observed max).
+func TestLatencyMergeMatchesExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := &Latency{}, &Latency{}
+	const n = 20000
+	all := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		// Log-uniform over 10µs .. 1s: five decades, like a latency
+		// distribution with a long tail.
+		d := time.Duration(float64(10*time.Microsecond) * math.Pow(1e5, rng.Float64()))
+		all = append(all, d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	merged := &Latency{}
+	merged.Merge(a)
+	merged.Merge(b)
+	s := merged.Snapshot()
+	if s.Count != n {
+		t.Fatalf("merged count = %d, want %d", s.Count, n)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	exact := func(q float64) time.Duration {
+		return all[int(q*float64(n-1))]
+	}
+	for _, c := range []struct {
+		name string
+		got  time.Duration
+		q    float64
+	}{
+		{"p50", s.P50, 0.50}, {"p95", s.P95, 0.95},
+		{"p99", s.P99, 0.99}, {"p999", s.P999, 0.999},
+	} {
+		want := exact(c.q)
+		ratio := float64(c.got) / float64(want)
+		if ratio < 1.0/1.25 || ratio > 1.25 {
+			t.Errorf("%s = %v, exact %v (ratio %.3f outside one bucket growth factor)",
+				c.name, c.got, want, ratio)
+		}
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Errorf("merged quantiles not monotone: %v %v %v %v max %v",
+			s.P50, s.P95, s.P99, s.P999, s.Max)
 	}
 }
