@@ -63,6 +63,8 @@ func run() error {
 			"snapshot file for periodic state snapshots (default <ledger>.snap; only used with a ledger). Snapshots are taken every snapshotInterval committed heights per the configuration, compact the ledger prefix they cover, serve O(state) catch-up to deeply lagging peers, and seed restart replay")
 		walPath = flag.String("wal", "",
 			"safety WAL file (default <ledger>.wal; only used with a ledger). Records last-voted view, lock, highQC, and current view, fsync'd before any vote or timeout leaves the node, so a SIGKILLed replica can never vote twice in one view after restart — and restart replay re-commits the full ledger with no holdback")
+		traceSpans = flag.Int("trace-spans", 0,
+			"block-lifecycle trace ring capacity in spans (0 = default 4096). The tracer is always on; this bounds how much history GET /debug/trace exports. The event ring scales 4x this")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -167,12 +169,14 @@ func run() error {
 	}
 	store := kvstore.New()
 	node := core.NewNode(self, cfg, factory, shim, scheme, core.Options{
-		Execute:   store.Apply,
-		Ledger:    led,
-		State:     store,
-		Snapshots: snaps,
-		Bootstrap: led != nil,
-		WAL:       safetyWAL,
+		Execute:     store.Apply,
+		Ledger:      led,
+		State:       store,
+		Snapshots:   snaps,
+		Bootstrap:   led != nil,
+		WAL:         safetyWAL,
+		TraceSpans:  *traceSpans,
+		TraceEvents: 4 * *traceSpans,
 		OnViolation: func(err error) {
 			log.Printf("SAFETY VIOLATION: %v", err)
 		},

@@ -91,6 +91,7 @@ func (a *applier) run() {
 		if job.snapshot {
 			a.n.captureSnapshot(job.block, job.height, job.selfQC)
 		}
+		a.n.onExecuted(job.block.ID())
 		a.n.pipeline.OnBlockApplied(time.Since(job.committedAt))
 	}
 }

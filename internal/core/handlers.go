@@ -42,6 +42,7 @@ func (n *Node) propose(view types.View, tc *types.TC) {
 		return
 	}
 	block.Sig = sig
+	n.trace.OnProposed(block.ID(), view, n.id, len(block.Payload))
 	msg := types.ProposalMsg{Block: block, TC: tc}
 
 	if eq, ok := n.rules.(attack.Equivocator); ok {
@@ -183,6 +184,10 @@ func (n *Node) onProposal(from types.NodeID, m types.ProposalMsg, verified bool)
 	if m.TC != nil && from != n.id {
 		n.onTC(m.TC, !verified)
 	}
+	// Authenticated: the span's verify stage ends here (for pool-checked
+	// messages this includes the queue wait, which is the point — the
+	// verify stage measures what a replica pays before it can act).
+	n.trace.OnVerified(id)
 	if m.IsDigest() && from != n.id {
 		// Data-plane resolution: rebuild the payload from the local
 		// pool; on a miss, park the proposal one link delay — the
@@ -411,6 +416,7 @@ func (n *Node) maybeVote(b *types.Block, tc *types.TC) {
 	if err != nil {
 		return
 	}
+	n.trace.OnVoted(id)
 	vote := &types.Vote{View: b.View, BlockID: id, Voter: n.id, Sig: sig}
 	msg := types.VoteMsg{Vote: vote}
 	if n.policy.BroadcastVote {
@@ -465,6 +471,9 @@ func (n *Node) handleQC(qc *types.QC) {
 		n.forest.Certify(qc)
 	} else if !qc.IsGenesis() {
 		n.bufferQC(qc)
+	}
+	if !qc.IsGenesis() {
+		n.trace.OnQCFormed(qc.BlockID)
 	}
 	n.rules.UpdateState(qc)
 	if target := n.rules.CommitRule(qc); target != nil {
@@ -521,7 +530,8 @@ func (n *Node) commit(target *types.Block) {
 	snapHeight := n.dueSnapshotHeight(height, n.forest.CommittedHeight())
 	for i, cb := range res.Committed {
 		height++
-		n.tracker.OnBlockCommitted(cb.View, cur, len(cb.Payload))
+		n.tracker.OnBlockCommitted(cb.Proposer, cb.View, cur, len(cb.Payload))
+		n.trace.OnCommitted(cb.ID(), height, len(cb.Payload))
 		// Every committed block has a certificate in hand (the next
 		// block's embedded QC, or the forest's certification record);
 		// it rides to the ledger record — restart replay needs it to
@@ -547,6 +557,7 @@ func (n *Node) commit(target *types.Block) {
 			if takeSnap {
 				n.captureSnapshot(cb, height, selfQC)
 			}
+			n.onExecuted(cb.ID())
 		}
 		if n.opts.CommitSeries != nil {
 			n.opts.CommitSeries.Add(now, uint64(len(cb.Payload)))
@@ -554,6 +565,7 @@ func (n *Node) commit(target *types.Block) {
 		for _, fn := range n.commitListeners {
 			fn(cb.View, cb.ID(), cb.Payload)
 		}
+		replied := false
 		for i := range cb.Payload {
 			txID := cb.Payload[i].ID
 			if client, ok := n.owned[txID]; ok {
@@ -563,7 +575,11 @@ func (n *Node) commit(target *types.Block) {
 					View:    cb.View,
 					BlockID: cb.ID(),
 				})
+				replied = true
 			}
+		}
+		if replied {
+			n.trace.OnReplied(cb.ID())
 		}
 	}
 	for _, fb := range res.Forked {
@@ -598,6 +614,7 @@ func (n *Node) broadcastTimeout(view types.View) {
 	if !n.persistSafety() {
 		return
 	}
+	n.trace.OnTimeout(view)
 	t := &types.Timeout{View: view, Voter: n.id, HighQC: n.rules.HighQC(), Sig: sig}
 	n.net.Broadcast(types.TimeoutMsg{Timeout: t})
 	n.onTimeoutMsg(t, true)
@@ -675,6 +692,7 @@ func (n *Node) onTC(tc *types.TC, needVerify bool) {
 func (n *Node) onNewView(tc *types.TC) {
 	view := n.pm.CurView()
 	n.tracker.OnViewEntered()
+	n.trace.OnViewEntered(view, n.elect.Leader(view))
 	if view > 4 {
 		n.votes.Prune(view - 4)
 	}

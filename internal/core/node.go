@@ -29,6 +29,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/quorum"
 	"github.com/bamboo-bft/bamboo/internal/safety"
 	"github.com/bamboo-bft/bamboo/internal/snapshot"
+	"github.com/bamboo-bft/bamboo/internal/trace"
 	"github.com/bamboo-bft/bamboo/internal/types"
 	"github.com/bamboo-bft/bamboo/internal/wal"
 )
@@ -77,6 +78,13 @@ type Options struct {
 	// amnesia-equivocation window. A failed append refuses the vote:
 	// staying silent is safe, equivocating is not.
 	WAL *wal.WAL
+	// TraceSpans and TraceEvents bound the block-lifecycle tracer's
+	// rings (spans and per-view events); zero selects the trace
+	// package defaults. The tracer is always on — the rings are fixed
+	// memory and stamps are lock-free — so these only tune how much
+	// history GET /debug/trace can export.
+	TraceSpans  int
+	TraceEvents int
 }
 
 // Status is the replica snapshot published after every commit.
@@ -155,6 +163,7 @@ type Node struct {
 
 	tracker  *metrics.ChainTracker
 	pipeline *metrics.PipelineTracker
+	trace    *trace.Tracer
 	// verif, when non-nil (cfg.AsyncVerify), checks signatures off
 	// the event loop (pipeline stage 2).
 	verif *verifier
@@ -258,12 +267,14 @@ func NewNode(id types.NodeID, cfg config.Config, factory safety.Factory,
 		owned:      make(map[types.TxID]types.NodeID),
 		tracker:    &metrics.ChainTracker{},
 		pipeline:   &metrics.PipelineTracker{},
+		trace:      trace.New(id, opts.TraceSpans, opts.TraceEvents),
 		opts:       opts,
 		events:     make(chan any, 64),
 		stopCh:     make(chan struct{}),
 		doneCh:     make(chan struct{}),
 	}
 	n.status = Status{CurView: 1}
+	n.tracker.SetCohort(cfg.N)
 	return n
 }
 
@@ -277,11 +288,21 @@ func (n *Node) Tracker() *metrics.ChainTracker { return n.tracker }
 // queue wait, apply lag, and the digest/batch fast-path counters.
 func (n *Node) Pipeline() *metrics.PipelineTracker { return n.pipeline }
 
+// Trace exposes the block-lifecycle tracer (GET /debug/trace reads
+// its ring snapshot; all stamp methods are lock-free, so reading while
+// the replica runs is safe).
+func (n *Node) Trace() *trace.Tracer { return n.trace }
+
 // Transport exposes the replica's network endpoint, so operational
 // surfaces (the HTTP API's /status) can report transport-level stats
 // when the endpoint keeps them (the TCP transport and the conditioned
 // shim do; switch endpoints defer to switch-wide counters).
 func (n *Node) Transport() network.Transport { return n.net }
+
+// TimeoutsFired reports the pacemaker's lifetime count of view-timer
+// expirations — the telemetry plane's view-synchronization health
+// counter.
+func (n *Node) TimeoutsFired() uint64 { return n.pm.TimeoutsFired() }
 
 // Violations returns how many commit-safety violations the forest
 // reported; correct runs keep this at zero.
@@ -405,6 +426,7 @@ func (n *Node) Stop() {
 func (n *Node) run() {
 	defer close(n.doneCh)
 	n.tracker.OnViewEntered()
+	n.trace.OnViewEntered(1, n.elect.Leader(1))
 	// Kick off the first view: its leader proposes the first block.
 	if n.elect.Leader(1) == n.id {
 		n.propose(1, nil)
@@ -449,6 +471,11 @@ func (n *Node) route(from types.NodeID, msg any, verified bool) {
 			// Duplicates (echo traffic) die on the seen-check for a
 			// map lookup; don't pay pool crypto for them.
 			offload = m.Block == nil || !n.forest.Contains(m.Block.ID())
+			if offload && m.Block != nil && m.Block.QC != nil {
+				// The span's receive stamp is arrival, before any
+				// verification queueing — the verify stage starts here.
+				n.trace.OnReceived(m.Block.ID(), m.Block.View, m.Block.Proposer, len(m.Block.Payload))
+			}
 		case types.VoteMsg, types.TimeoutMsg, types.TCMsg:
 			offload = true
 		}
@@ -531,6 +558,28 @@ func (n *Node) noteSnapshot(height uint64, digest types.Hash) {
 		n.status.SnapshotDigest = digest
 	}
 	n.statusMu.Unlock()
+}
+
+// onExecuted stamps a block's execution completion and feeds its
+// per-stage durations into the chain tracker's stage histograms.
+// Called from the event loop (inline commit path) or the commit-apply
+// goroutine (stage 3); both the tracer and the stage histograms are
+// safe for that.
+func (n *Node) onExecuted(id types.Hash) {
+	sp, ok := n.trace.OnExecuted(id)
+	if !ok {
+		return
+	}
+	feed := func(s metrics.Stage, from, to int64) {
+		if from != 0 && to >= from {
+			n.tracker.OnStage(s, time.Duration(to-from))
+		}
+	}
+	feed(metrics.StageVerify, sp.Received, sp.Verified)
+	feed(metrics.StageVote, sp.Verified, sp.Voted)
+	feed(metrics.StageQC, sp.Voted, sp.QCFormed)
+	feed(metrics.StageCommit, sp.QCFormed, sp.Committed)
+	feed(metrics.StageExecute, sp.Committed, sp.Executed)
 }
 
 // warn surfaces a safety violation.

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/safety"
 	"github.com/bamboo-bft/bamboo/internal/types"
@@ -77,6 +78,7 @@ func (n *Node) persistSafety() bool {
 		return true
 	}
 	ds := n.rules.DurableState()
+	start := time.Now()
 	err := w.Append(wal.Record{
 		CurView:     n.pm.CurView(),
 		LastVoted:   ds.LastVoted,
@@ -85,6 +87,8 @@ func (n *Node) persistSafety() bool {
 		HighQC:      ds.HighQC,
 		Suffix:      n.uncommittedSuffix(ds.HighQC),
 	})
+	n.pipeline.OnWALSync(time.Since(start))
+	n.trace.OnWALSync(n.pm.CurView(), time.Since(start))
 	if err != nil {
 		// A replica that cannot persist its vote state can no longer
 		// promise not to equivocate across a crash — as loud as a

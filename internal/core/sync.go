@@ -158,6 +158,7 @@ func (n *Node) maybeStartSync(from types.NodeID, b *types.Block) {
 	n.catchup.target = from
 	n.catchup.epoch++
 	n.catchup.lastHeight = n.forest.CommittedHeight()
+	n.trace.OnSyncStart(from)
 	n.sendSyncRequest()
 	n.armSyncRetry()
 	n.publishStatus()
@@ -263,6 +264,7 @@ func (n *Node) rotateSyncTarget() {
 // epoch bump kills any stall timer still in flight.
 func (n *Node) endSync() {
 	n.catchup = syncEpisode{epoch: n.catchup.epoch + 1}
+	n.trace.OnSyncEnd()
 	n.publishStatus()
 }
 

@@ -34,6 +34,7 @@ import (
 	"github.com/bamboo-bft/bamboo/internal/config"
 	"github.com/bamboo-bft/bamboo/internal/httpapi"
 	"github.com/bamboo-bft/bamboo/internal/network"
+	"github.com/bamboo-bft/bamboo/internal/trace"
 	"github.com/bamboo-bft/bamboo/internal/types"
 )
 
@@ -457,6 +458,44 @@ func (f *Fleet) ReplicaResult(id types.NodeID) (httpapi.ReplicaResult, error) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return out, fmt.Errorf("fleet: replica %d result: %w", id, err)
+	}
+	return out, nil
+}
+
+// Metrics scrapes the replica's Prometheus text exposition
+// (GET /metrics) — the fleet-wide telemetry plane's raw material, and
+// what CI's fleet-smoke asserts parses from a live server process.
+func (f *Fleet) Metrics(id types.NodeID) (string, error) {
+	resp, err := f.client.Get(f.URL(id) + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("fleet: replica %d metrics: %w", id, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("fleet: replica %d metrics: %s", id, resp.Status)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("fleet: replica %d metrics: %w", id, err)
+	}
+	return string(text), nil
+}
+
+// Trace fetches the replica's block-lifecycle trace rings
+// (GET /debug/trace): spans with stage timestamps plus interleaved
+// per-view events, decoded from the JSON export.
+func (f *Fleet) Trace(id types.NodeID) (trace.Export, error) {
+	var out trace.Export
+	resp, err := f.client.Get(f.URL(id) + "/debug/trace")
+	if err != nil {
+		return out, fmt.Errorf("fleet: replica %d trace: %w", id, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("fleet: replica %d trace: %s", id, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("fleet: replica %d trace: %w", id, err)
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -143,6 +144,31 @@ func TestFleetCommitsAndTearsDownClean(t *testing.T) {
 	}
 	if _, ok, err := f.HashAt(observer, h); err != nil || !ok {
 		t.Fatalf("hash at committed height %d: ok=%v err=%v", h, ok, err)
+	}
+
+	// The telemetry plane must be scrape-able from a live replica
+	// process: the Prometheus exposition carries committed blocks, and
+	// the trace rings hold committed spans.
+	text, err := f.Metrics(observer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "bamboo_committed_blocks_total") ||
+		!strings.Contains(text, "bamboo_stage_seconds_bucket") {
+		t.Fatalf("exposition missing required series:\n%.300s", text)
+	}
+	tr, err := f.Trace(observer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committedSpan := false
+	for _, sp := range tr.Spans {
+		if sp.Committed != 0 {
+			committedSpan = true
+		}
+	}
+	if !committedSpan {
+		t.Fatalf("trace export has no committed span (%d spans)", len(tr.Spans))
 	}
 
 	dir := f.Dir()

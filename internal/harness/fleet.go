@@ -225,6 +225,7 @@ func runFleetStep(exp Experiment, concurrency int, rate float64, res *Result) (P
 	p.Pipeline = pipeline
 
 	res.Chain = chain
+	res.fillChainQuality(chain)
 	res.Pipeline = pipeline
 	res.Network = net
 	res.Heights = heights

@@ -290,6 +290,25 @@ type Result struct {
 	Elapsed time.Duration `json:"elapsed"`
 	// Error records what ended the run early, if anything.
 	Error string `json:"error,omitempty"`
+	// Stages digests the per-stage block-lifecycle histograms (verify,
+	// vote, qc, commit, execute) merged across honest replicas — where
+	// commit latency actually goes.
+	Stages map[string]metrics.LatencySummary `json:"stages,omitempty"`
+	// ProposerShares is each replica's fraction of the committed chain
+	// (index is replica ID minus one) — the chain-quality measurement.
+	ProposerShares []float64 `json:"proposerShares,omitempty"`
+	// Gini is the Gini coefficient over ProposerShares: 0 for perfect
+	// leader equality, approaching 1 as one leader owns the chain.
+	Gini float64 `json:"gini"`
+}
+
+// fillChainQuality derives the observability digests (stage-breakdown
+// summaries, per-proposer shares, Gini) from the merged chain stats —
+// shared by the in-process and fleet result paths.
+func (r *Result) fillChainQuality(chain metrics.ChainStats) {
+	r.Stages = chain.StageSummaries()
+	r.ProposerShares = chain.Shares()
+	r.Gini = chain.Gini
 }
 
 // Validate reports the first problem with the declared experiment.
@@ -614,6 +633,7 @@ func runStep(exp Experiment, concurrency int, rate float64, res *Result) (Point,
 	p.Pipeline = c.AggregatePipeline()
 
 	res.Chain = chain
+	res.fillChainQuality(chain)
 	res.Pipeline = p.Pipeline
 	msgs, bytes, dropped := c.NetworkStats()
 	ts := c.TransportStats()

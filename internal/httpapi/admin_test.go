@@ -266,39 +266,42 @@ func TestShutdownRace(t *testing.T) {
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+	hammer := func(fn func()) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fn()
+		}
+	}
+	get := func(path string) func() {
+		return func() {
+			resp, err := http.Get(srv.URL + path)
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+		}
+	}
 	for g := 0; g < 4; g++ {
-		wg.Add(2)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				body, _ := json.Marshal(txRequest{Command: kvstore.EncodeNoop(0)})
-				resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
-				if err == nil {
-					_, _ = io.Copy(io.Discard, resp.Body)
-					_ = resp.Body.Close()
-				}
+		wg.Add(5)
+		go hammer(func() {
+			body, _ := json.Marshal(txRequest{Command: kvstore.EncodeNoop(0)})
+			resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
 			}
-		}()
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				resp, err := http.Get(srv.URL + "/status")
-				if err == nil {
-					_, _ = io.Copy(io.Discard, resp.Body)
-					_ = resp.Body.Close()
-				}
-			}
-		}()
+		})
+		// Every read surface that walks tracker/trace state must
+		// survive the node stopping underneath it.
+		go hammer(get("/status"))
+		go hammer(get("/metrics"))
+		go hammer(get("/debug/trace"))
+		go hammer(get("/debug/trace?format=chrome"))
 	}
 	// Let the load reach steady state, then stop the node underneath
 	// the still-serving HTTP front end.

@@ -13,8 +13,21 @@
 //	              apply lag), and — on TCP deployments — the
 //	              endpoint's transport counters (msgs, bytes, dials).
 //	GET  /hash    committed block hash at ?height=N (consistency check).
-//	GET  /metrics chain micro-metrics (CGR, BI, committed counts) plus
-//	              the pipeline stage counters under "pipeline".
+//	GET  /chain   chain micro-metrics as JSON (CGR, BI, committed
+//	              counts, per-proposer commit shares, Gini, per-stage
+//	              histograms) plus the pipeline stage counters under
+//	              "pipeline".
+//	GET  /metrics Prometheus text exposition of every replica counter
+//	              and histogram (chain, stages, mempool admission, WAL
+//	              syncs, sync, snapshot, pipeline). Scrape-ready with
+//	              no client library. Requests that ask for JSON via
+//	              the Accept header get 410 Gone pointing at /chain,
+//	              which kept the old JSON shape.
+//	GET  /debug/trace
+//	              block-lifecycle trace rings: span per block with
+//	              stage timestamps, interleaved per-view events. JSON
+//	              by default; ?format=chrome emits the Chrome
+//	              trace-event array chrome://tracing loads directly.
 package httpapi
 
 import (
@@ -103,7 +116,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /tx", s.handleTx)
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /hash", s.handleHash)
+	mux.HandleFunc("GET /chain", s.handleChain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /admin/conditions", s.handleConditions)
 	mux.HandleFunc("GET /admin/result", s.handleResult)
@@ -246,18 +261,31 @@ func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"hash": fmt.Sprintf("%x", hash[:])})
 }
 
-// metricsResponse flattens the chain micro-metrics (unchanged wire
-// shape for existing consumers) and nests the pipeline stage counters.
-type metricsResponse struct {
+// chainResponse flattens the chain micro-metrics (unchanged wire shape
+// for existing consumers of the old JSON /metrics, which moved here)
+// and nests the pipeline stage counters.
+type chainResponse struct {
 	metrics.ChainStats
 	Pipeline metrics.PipelineStats `json:"pipeline"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, metricsResponse{
+func (s *Server) handleChain(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, chainResponse{
 		ChainStats: s.node.Tracker().Snapshot(),
 		Pipeline:   s.node.Pipeline().Snapshot(),
 	})
+}
+
+// handleTrace serves the block-lifecycle trace rings: the JSON export
+// by default, the Chrome trace-event array under ?format=chrome (save
+// it to a file and load it in chrome://tracing or Perfetto).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ex := s.node.Trace().Snapshot()
+	if r.URL.Query().Get("format") == "chrome" {
+		writeJSON(w, ex.Chrome())
+		return
+	}
+	writeJSON(w, ex)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -115,7 +115,7 @@ func TestStatusAndMetrics(t *testing.T) {
 		t.Fatalf("empty status: %+v", status)
 	}
 
-	resp, err = http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/chain")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 )
 
 // TestPipelineMetricsExposed: with the pipeline stages on, /status
-// reports the per-stage latencies and /metrics the stage counters.
+// reports the per-stage latencies and /chain the stage counters.
 func TestPipelineMetricsExposed(t *testing.T) {
 	cfg := config.Default()
 	cfg.Protocol = config.ProtocolHotStuff
@@ -68,7 +68,7 @@ func TestPipelineMetricsExposed(t *testing.T) {
 		t.Fatalf("no apply-lag samples on the status endpoint: %+v", status)
 	}
 
-	resp, err = http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/chain")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,6 +87,6 @@ func TestPipelineMetricsExposed(t *testing.T) {
 		t.Fatalf("no chain metrics: %+v", m)
 	}
 	if m.Pipeline.SigsVerified == 0 || m.Pipeline.BlocksApplied == 0 {
-		t.Fatalf("pipeline counters missing from /metrics: %+v", m)
+		t.Fatalf("pipeline counters missing from /chain: %+v", m)
 	}
 }

@@ -1,0 +1,105 @@
+package metrics
+
+import "time"
+
+// HistData is the raw, serializable form of a Latency histogram: the
+// per-bucket counts (trimmed at the last non-zero bucket) plus the
+// count/sum/max the summary statistics need. Unlike LatencySummary it
+// merges losslessly — two HistData over the shared bucket geometry sum
+// bucket-by-bucket — which is what lets the fleet harness combine
+// per-replica stage histograms scraped over HTTP into one
+// deployment-wide distribution before digesting quantiles.
+type HistData struct {
+	// Buckets holds the geometric bucket counts, trimmed after the
+	// last non-zero bucket (bucket i spans up to HistBucketUpper(i)).
+	Buckets []uint64 `json:"buckets,omitempty"`
+	Count   uint64   `json:"count"`
+	// Sum and Max are nanoseconds.
+	Sum int64 `json:"sum"`
+	Max int64 `json:"max"`
+}
+
+// HistBucketUpper returns the upper bound of histogram bucket i — the
+// "le" edge a Prometheus exposition of the histogram reports.
+func HistBucketUpper(i int) time.Duration { return bucketUpper(i) }
+
+// Export snapshots the histogram into its raw mergeable form.
+func (l *Latency) Export() HistData {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := HistData{Count: l.count, Sum: int64(l.sum), Max: int64(l.max)}
+	last := -1
+	for i, c := range l.buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		h.Buckets = make([]uint64, last+1)
+		copy(h.Buckets, l.buckets[:last+1])
+	}
+	return h
+}
+
+// Merge folds other into h, bucket by bucket.
+func (h *HistData) Merge(other HistData) {
+	if len(other.Buckets) > len(h.Buckets) {
+		grown := make([]uint64, len(other.Buckets))
+		copy(grown, h.Buckets)
+		h.Buckets = grown
+	}
+	for i, c := range other.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}
+
+// Latency reconstructs a live histogram from the raw form.
+func (h HistData) Latency() *Latency {
+	l := &Latency{count: h.Count, sum: time.Duration(h.Sum), max: time.Duration(h.Max)}
+	n := len(h.Buckets)
+	if n > bucketCount {
+		n = bucketCount
+	}
+	copy(l.buckets[:], h.Buckets[:n])
+	return l
+}
+
+// Summary digests the raw histogram the same way Latency.Snapshot
+// digests a live one.
+func (h HistData) Summary() LatencySummary { return h.Latency().Snapshot() }
+
+// Gini computes the Gini coefficient of the given counts — 0 for a
+// perfectly uniform distribution, (n-1)/n when a single index holds
+// everything. The chain-quality reading ("Leader Rotation Is Not
+// Enough"): counts[i] is proposer i+1's committed-block count, zeros
+// included for proposers that never landed a block, and a high
+// coefficient means the committed chain is owned by few leaders even
+// if rotation nominally spreads the proposer role.
+func Gini(counts []uint64) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]uint64, n)
+	copy(sorted, counts)
+	// Insertion sort: cohorts are replica counts (tens), not data sets.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	var total, weighted float64
+	for i, c := range sorted {
+		total += float64(c)
+		weighted += float64(i+1) * float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	return 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+}

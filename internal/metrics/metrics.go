@@ -154,6 +154,38 @@ func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
 // Load returns the current count.
 func (c *Counter) Load() uint64 { return c.n.Load() }
 
+// Stage names one leg of a committed block's lifecycle, as observed
+// by a single replica's clock (cross-replica stamps would need clock
+// agreement the harness does not assume): verify is proposal receipt
+// to signature acceptance, vote is acceptance to the vote leaving,
+// qc is the vote to the block's certificate arriving (vote collection
+// plus dissemination), commit is the certificate to the commit rule
+// firing (the chained-pipelining depth), execute is commit to the
+// state machine finishing the payload.
+type Stage int
+
+// The block-lifecycle stages, in pipeline order.
+const (
+	StageVerify Stage = iota
+	StageVote
+	StageQC
+	StageCommit
+	StageExecute
+	numStages
+)
+
+// StageNames lists the stage labels in pipeline order — the key set of
+// ChainStats.Stages and the label values of the Prometheus
+// bamboo_stage_seconds histogram.
+var StageNames = [numStages]string{"verify", "vote", "qc", "commit", "execute"}
+
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return StageNames[s]
+}
+
 // ChainStats digests a ChainTracker.
 type ChainStats struct {
 	// BlocksAdded counts blocks this replica accepted onto its
@@ -175,6 +207,70 @@ type ChainStats struct {
 	BI float64
 	// TxCommitted counts committed transactions.
 	TxCommitted uint64
+	// ProposerCommits counts committed blocks per proposer (keyed by
+	// replica ID) — the raw material of the chain-quality reading.
+	ProposerCommits map[uint32]uint64 `json:",omitempty"`
+	// Cohort is the number of replicas the proposer shares are
+	// measured over; proposers absent from ProposerCommits hold a
+	// zero share.
+	Cohort int `json:",omitempty"`
+	// Gini is the Gini coefficient over the per-proposer committed
+	// shares: 0 when every replica lands an equal share of the
+	// committed chain, approaching (Cohort-1)/Cohort when one leader
+	// owns it.
+	Gini float64
+	// Stages holds the per-stage latency histograms of the block
+	// lifecycle (see StageNames), in raw mergeable form.
+	Stages map[string]HistData `json:",omitempty"`
+}
+
+// Shares expands ProposerCommits into dense per-replica fractions of
+// the committed chain (index = replica ID - 1, length = Cohort).
+func (c *ChainStats) Shares() []float64 {
+	if c.Cohort == 0 {
+		return nil
+	}
+	shares := make([]float64, c.Cohort)
+	var total float64
+	for _, n := range c.ProposerCommits {
+		total += float64(n)
+	}
+	if total == 0 {
+		return shares
+	}
+	for id, n := range c.ProposerCommits {
+		if id >= 1 && int(id) <= c.Cohort {
+			shares[id-1] = float64(n) / total
+		}
+	}
+	return shares
+}
+
+// StageSummaries digests the raw per-stage histograms.
+func (c *ChainStats) StageSummaries() map[string]LatencySummary {
+	if len(c.Stages) == 0 {
+		return nil
+	}
+	out := make(map[string]LatencySummary, len(c.Stages))
+	for name, h := range c.Stages {
+		out[name] = h.Summary()
+	}
+	return out
+}
+
+// giniFromCommits recomputes the coefficient from the (possibly
+// merged) proposer counts over the cohort, zeros included.
+func (c *ChainStats) giniFromCommits() float64 {
+	if c.Cohort == 0 {
+		return 0
+	}
+	counts := make([]uint64, c.Cohort)
+	for id, n := range c.ProposerCommits {
+		if id >= 1 && int(id) <= c.Cohort {
+			counts[id-1] += n
+		}
+	}
+	return Gini(counts)
 }
 
 // Accumulate sums s into c, ratio metrics included — pair with
@@ -188,19 +284,47 @@ func (c *ChainStats) Accumulate(s ChainStats) {
 	c.TxCommitted += s.TxCommitted
 	c.CGR += s.CGR
 	c.BI += s.BI
+	if len(s.ProposerCommits) > 0 {
+		if c.ProposerCommits == nil {
+			c.ProposerCommits = make(map[uint32]uint64, len(s.ProposerCommits))
+		}
+		for id, n := range s.ProposerCommits {
+			c.ProposerCommits[id] += n
+		}
+	}
+	if s.Cohort > c.Cohort {
+		c.Cohort = s.Cohort
+	}
+	if len(s.Stages) > 0 {
+		if c.Stages == nil {
+			c.Stages = make(map[string]HistData, len(s.Stages))
+		}
+		for name, h := range s.Stages {
+			merged := c.Stages[name]
+			merged.Merge(h)
+			c.Stages[name] = merged
+		}
+	}
 }
 
 // AverageRatios divides the accumulated ratio metrics (CGR, BI) by the
-// number of replicas summed; counters stay totals.
+// number of replicas summed; counters stay totals. The Gini
+// coefficient is not averaged but recomputed from the merged proposer
+// counts — every honest replica observes (nearly) the same committed
+// chain, so summing their counts preserves the shares and one
+// coefficient over the merge is the meaningful deployment-wide figure.
 func (c *ChainStats) AverageRatios(n int) {
 	if n > 0 {
 		c.CGR /= float64(n)
 		c.BI /= float64(n)
 	}
+	c.Gini = c.giniFromCommits()
 }
 
-// ChainTracker accumulates the micro-metrics of Section IV-B.
-// The zero value is ready to use.
+// ChainTracker accumulates the micro-metrics of Section IV-B, plus
+// the chain-quality metrics (per-proposer committed shares, Gini) and
+// the per-stage block-lifecycle latency histograms the trace layer
+// derives. The zero value is ready to use.
 type ChainTracker struct {
 	mu          sync.Mutex
 	added       uint64
@@ -208,6 +332,30 @@ type ChainTracker struct {
 	views       uint64
 	biSum       uint64
 	txCommitted uint64
+	cohort      int
+	proposers   map[uint32]uint64
+
+	// stages are per-stage Latency histograms (own locks; recorded
+	// off the tracker mutex — the execute stage reports from the
+	// commit-apply goroutine).
+	stages [numStages]Latency
+}
+
+// SetCohort declares the replica-count the proposer shares are
+// measured over (replicas that never commit a block still count as
+// zero-share proposers in the Gini coefficient). Call before Start.
+func (c *ChainTracker) SetCohort(n int) {
+	c.mu.Lock()
+	c.cohort = n
+	c.mu.Unlock()
+}
+
+// OnStage records one block-lifecycle stage duration.
+func (c *ChainTracker) OnStage(s Stage, d time.Duration) {
+	if s < 0 || s >= numStages {
+		return
+	}
+	c.stages[s].Record(d)
 }
 
 // OnBlockAdded records a block appended to the block tree.
@@ -224,28 +372,32 @@ func (c *ChainTracker) OnViewEntered() {
 	c.mu.Unlock()
 }
 
-// OnBlockCommitted records a commit of a block proposed in
+// OnBlockCommitted records a commit of a block proposed by proposer in
 // proposeView that committed while the replica was in commitView,
 // carrying txs transactions.
-func (c *ChainTracker) OnBlockCommitted(proposeView, commitView types.View, txs int) {
+func (c *ChainTracker) OnBlockCommitted(proposer types.NodeID, proposeView, commitView types.View, txs int) {
 	c.mu.Lock()
 	c.committed++
 	if commitView >= proposeView {
 		c.biSum += uint64(commitView - proposeView)
 	}
 	c.txCommitted += uint64(txs)
+	if c.proposers == nil {
+		c.proposers = make(map[uint32]uint64)
+	}
+	c.proposers[uint32(proposer)]++
 	c.mu.Unlock()
 }
 
 // Snapshot digests the tracker.
 func (c *ChainTracker) Snapshot() ChainStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := ChainStats{
 		BlocksAdded:     c.added,
 		BlocksCommitted: c.committed,
 		ViewsEntered:    c.views,
 		TxCommitted:     c.txCommitted,
+		Cohort:          c.cohort,
 	}
 	if c.added > 0 {
 		s.CGR = float64(c.committed) / float64(c.added)
@@ -255,6 +407,18 @@ func (c *ChainTracker) Snapshot() ChainStats {
 	}
 	if c.committed > 0 {
 		s.BI = float64(c.biSum) / float64(c.committed)
+	}
+	if len(c.proposers) > 0 {
+		s.ProposerCommits = make(map[uint32]uint64, len(c.proposers))
+		for id, n := range c.proposers {
+			s.ProposerCommits[id] = n
+		}
+	}
+	c.mu.Unlock()
+	s.Gini = s.giniFromCommits()
+	s.Stages = make(map[string]HistData, numStages)
+	for i := range c.stages {
+		s.Stages[StageNames[i]] = c.stages[i].Export()
 	}
 	return s
 }

@@ -137,7 +137,7 @@ func TestChainTrackerCGRAndBI(t *testing.T) {
 		ct.OnBlockAdded()
 	}
 	for v := 1; v <= 8; v++ {
-		ct.OnBlockCommitted(types.View(v), types.View(v+3), 400)
+		ct.OnBlockCommitted(1, types.View(v), types.View(v+3), 400)
 	}
 	s := ct.Snapshot()
 	if s.BlocksAdded != 10 || s.BlocksCommitted != 8 {
@@ -166,7 +166,7 @@ func TestChainTrackerNonMonotoneCommitView(t *testing.T) {
 	var ct ChainTracker
 	ct.OnBlockAdded()
 	// commitView < proposeView must not underflow the BI sum.
-	ct.OnBlockCommitted(9, 5, 1)
+	ct.OnBlockCommitted(1, 9, 5, 1)
 	if s := ct.Snapshot(); s.BI != 0 {
 		t.Fatalf("BI = %f, want 0 for clamped negative interval", s.BI)
 	}

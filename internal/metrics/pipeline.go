@@ -58,6 +58,12 @@ type PipelineStats struct {
 	// replayed from its own ledger into forest and state machine
 	// before joining — restart cost O(gap), not O(chain).
 	ReplayedBlocks uint64
+	// WALSyncs counts durable safety-state syncs (one fsync'd append
+	// before every vote or timeout leaves the node).
+	WALSyncs uint64
+	// WALSyncWait is the latency distribution of those appends — the
+	// per-vote durability tax the safety WAL charges the event loop.
+	WALSyncWait LatencySummary
 }
 
 // AddCounters accumulates s's event counters into p — the shared
@@ -82,6 +88,7 @@ func (p *PipelineStats) AddCounters(s PipelineStats) {
 	p.SnapshotInstalls += s.SnapshotInstalls
 	p.SnapshotsServed += s.SnapshotsServed
 	p.ReplayedBlocks += s.ReplayedBlocks
+	p.WALSyncs += s.WALSyncs
 }
 
 // PipelineTracker accumulates PipelineStats. The zero value is ready
@@ -107,6 +114,9 @@ type PipelineTracker struct {
 	snapInstalls Counter
 	snapServed   Counter
 	replayed     Counter
+
+	walSyncs Counter
+	walSync  Latency
 }
 
 // OnVerifyBatch records one verification pool batch: the queue wait of
@@ -163,9 +173,27 @@ func (p *PipelineTracker) OnSnapshotServed() { p.snapServed.Add(1) }
 // ledger during restart bootstrap.
 func (p *PipelineTracker) OnBlocksReplayed(n uint64) { p.replayed.Add(n) }
 
+// OnWALSync records one durable safety-state append and how long the
+// event loop waited for it.
+func (p *PipelineTracker) OnWALSync(d time.Duration) {
+	p.walSyncs.Add(1)
+	p.walSync.Record(d)
+}
+
 // SyncApplied returns the running count of sync-applied blocks (the
 // replica status surface reads it without a full snapshot).
 func (p *PipelineTracker) SyncApplied() uint64 { return p.syncApplied.Load() }
+
+// Hists exports the tracker's latency histograms in raw mergeable
+// form, keyed for a Prometheus exposition (seconds histograms named
+// bamboo_<key>_seconds).
+func (p *PipelineTracker) Hists() map[string]HistData {
+	return map[string]HistData{
+		"verify_queue_wait": p.verifyWait.Export(),
+		"apply_lag":         p.applyLag.Export(),
+		"wal_sync":          p.walSync.Export(),
+	}
+}
 
 // Snapshot digests the tracker.
 func (p *PipelineTracker) Snapshot() PipelineStats {
@@ -189,5 +217,8 @@ func (p *PipelineTracker) Snapshot() PipelineStats {
 		SnapshotInstalls: p.snapInstalls.Load(),
 		SnapshotsServed:  p.snapServed.Load(),
 		ReplayedBlocks:   p.replayed.Load(),
+
+		WALSyncs:    p.walSyncs.Load(),
+		WALSyncWait: p.walSync.Snapshot(),
 	}
 }

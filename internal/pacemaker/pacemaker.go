@@ -14,6 +14,7 @@ package pacemaker
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bamboo-bft/bamboo/internal/quorum"
@@ -33,6 +34,11 @@ type Pacemaker struct {
 	// timeoutCh surfaces local timer expirations to the event loop;
 	// the payload is the view that timed out.
 	timeoutCh chan types.View
+
+	// fired counts timer expirations surfaced over the pacemaker's
+	// lifetime (re-firings while stuck included) — the telemetry
+	// plane's view-synchronization health counter.
+	fired atomic.Uint64
 }
 
 // New creates a pacemaker starting at view 1 with the given view timer
@@ -103,6 +109,7 @@ func (p *Pacemaker) fire(view types.View) {
 	}
 	p.timer = time.AfterFunc(p.timeout, func() { p.fire(view) })
 	p.mu.Unlock()
+	p.fired.Add(1)
 	select {
 	case p.timeoutCh <- view:
 	default:
@@ -146,6 +153,11 @@ func (p *Pacemaker) TimeoutCount(view types.View) int {
 	defer p.mu.Unlock()
 	return p.timeouts.Count(view)
 }
+
+// TimeoutsFired returns how many view-timer expirations the pacemaker
+// has surfaced over its lifetime, readable from any goroutine (the
+// /metrics exposition's bamboo_pacemaker_timeouts_fired_total).
+func (p *Pacemaker) TimeoutsFired() uint64 { return p.fired.Load() }
 
 // PendingTimeoutSets reports live timeout aggregation sets (leak
 // detection in long-running tests).

@@ -1,0 +1,112 @@
+package trace
+
+import "fmt"
+
+// Chrome trace-event export: the Export's spans and events rendered in
+// the Trace Event Format that chrome://tracing and Perfetto load. Each
+// replica is a process (pid = replica ID); thread 0 carries the
+// instant events (view changes, timeouts, WAL syncs, sync episodes)
+// and threads 1..5 are per-stage lanes where every block's time in
+// that stage is a complete ("X") slice — so a committed block reads as
+// a staircase of verify → vote → qc → commit → execute slices across
+// the lanes, and a stall in any stage is visually obvious.
+
+// ChromeEvent is one entry of the Trace Event Format's JSON array.
+type ChromeEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase: "X" complete (Ts+Dur), "i" instant, "M"
+	// metadata (process/thread names).
+	Ph  string `json:"ph"`
+	Ts  int64  `json:"ts"`            // microseconds
+	Dur int64  `json:"dur,omitempty"` // microseconds, "X" only
+	Pid uint32 `json:"pid"`
+	Tid uint32 `json:"tid"`
+	// S scopes instant events; "p" (process) keeps them visible at
+	// any zoom.
+	S    string         `json:"s,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// The per-stage lanes, in pipeline order. Lane i+1 renders the
+// interval between stageBounds[i]'s two stamps.
+var stageLanes = []struct {
+	tid  uint32
+	name string
+	from func(Span) int64
+	to   func(Span) int64
+}{
+	{1, "verify", func(s Span) int64 { return s.Received }, func(s Span) int64 { return s.Verified }},
+	{2, "vote", func(s Span) int64 { return s.Verified }, func(s Span) int64 { return s.Voted }},
+	{3, "qc", func(s Span) int64 { return s.Voted }, func(s Span) int64 { return s.QCFormed }},
+	{4, "commit", func(s Span) int64 { return s.QCFormed }, func(s Span) int64 { return s.Committed }},
+	{5, "execute", func(s Span) int64 { return s.Committed }, func(s Span) int64 { return s.Executed }},
+}
+
+// Chrome renders the export as a Trace Event Format array.
+func (ex Export) Chrome() []ChromeEvent {
+	pid := uint32(ex.Node)
+	out := []ChromeEvent{
+		{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("replica %d", ex.Node)}},
+		{Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "events"}},
+	}
+	for _, lane := range stageLanes {
+		out = append(out, ChromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: lane.tid,
+			Args: map[string]any{"name": "stage:" + lane.name}})
+	}
+	for _, sp := range ex.Spans {
+		args := map[string]any{
+			"block":    sp.Block,
+			"view":     sp.View,
+			"proposer": sp.Proposer,
+			"txs":      sp.Txs,
+		}
+		if sp.Height != 0 {
+			args["height"] = sp.Height
+		}
+		for _, lane := range stageLanes {
+			from, to := lane.from(sp), lane.to(sp)
+			if from == 0 || to == 0 || to < from {
+				continue
+			}
+			out = append(out, ChromeEvent{
+				Name: lane.name + " " + sp.Block,
+				Ph:   "X",
+				Ts:   from / 1e3,
+				Dur:  (to - from) / 1e3,
+				Pid:  pid,
+				Tid:  lane.tid,
+				Cat:  "block",
+				Args: args,
+			})
+		}
+	}
+	for _, e := range ex.Events {
+		ce := ChromeEvent{
+			Name: e.Kind,
+			Ph:   "i",
+			Ts:   e.Time / 1e3,
+			Pid:  pid,
+			Tid:  0,
+			S:    "p",
+			Cat:  "view",
+		}
+		args := map[string]any{}
+		if e.View != 0 {
+			args["view"] = e.View
+		}
+		if e.Node != 0 {
+			args["node"] = e.Node
+		}
+		if e.Dur != 0 {
+			args["durNs"] = e.Dur
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+	return out
+}
